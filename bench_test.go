@@ -1,0 +1,285 @@
+package bside
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus the §4.7 automaton-vs-naive phase-detection
+// ablation and micro-benchmarks for the substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The corpus is generated once and shared; benchmarks measure the
+// analysis, not the generation.
+
+import (
+	"sync"
+	"testing"
+
+	"bside/internal/asm"
+	"bside/internal/cfg"
+	"bside/internal/corpus"
+	"bside/internal/elff"
+	"bside/internal/emu"
+	"bside/internal/eval"
+	"bside/internal/ident"
+	"bside/internal/phases"
+	"bside/internal/x86"
+)
+
+var (
+	benchOnce    sync.Once
+	benchApps    *corpus.Set
+	benchDebian  *corpus.Set
+	benchAppEval []*eval.AppEval
+	benchDebEval *eval.DebianEval
+	benchErr     error
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchApps, benchErr = corpus.GenerateApps()
+		if benchErr != nil {
+			return
+		}
+		benchAppEval, benchErr = eval.EvalApps(benchApps)
+		if benchErr != nil {
+			return
+		}
+		benchDebian, benchErr = corpus.GenerateDebian(42)
+		if benchErr != nil {
+			return
+		}
+		benchDebEval, benchErr = eval.EvalDebian(benchDebian)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: all three tools over the six
+// applications, validated against the emulator ground truth.
+func BenchmarkFigure7(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apps, err := eval.EvalApps(benchApps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := eval.Figure7(apps); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the F1-score table from the per-app runs.
+func BenchmarkTable1(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := eval.Table1(benchAppEval); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the 557-binary comparison (success and
+// failure counts plus average set sizes for the three tools).
+func BenchmarkTable2(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := eval.EvalDebian(benchDebian)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := eval.Table2(d); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the identified-set-size histogram.
+func BenchmarkFigure8(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := eval.Figure8(benchDebEval); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkTable3 measures B-Side's whole-analysis cost on the six
+// applications (the execution-time/memory table).
+func BenchmarkTable3(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apps, err := eval.EvalApps(benchApps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := eval.Table3(apps); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the nginx phase automaton and its
+// transition matrix.
+func BenchmarkTable4(b *testing.B) {
+	benchSetup(b)
+	var nginx *eval.AppEval
+	for _, a := range benchAppEval {
+		if a.Name == "nginx" {
+			nginx = a
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps, err := eval.EvalPhases(nginx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := eval.Table4(ps); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the CVE-protection percentages over the
+// Debian corpus results.
+func BenchmarkTable5(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := eval.Table5Rows(benchDebEval)
+		if len(rows) != 36 {
+			b.Fatalf("rows: %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkPhaseAblationAutomaton vs ...Naive quantify §4.7's claim
+// that the automaton-based phase detection vastly outruns naive CFG
+// navigation (paper: 41s vs 700s on a hello world, 20min vs 4h on
+// Nginx).
+func BenchmarkPhaseAblationAutomaton(b *testing.B) {
+	benchSetup(b)
+	in := ablationInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := phases.Detect(in, phases.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseAblationNaive is the strawman side of the ablation.
+func BenchmarkPhaseAblationNaive(b *testing.B) {
+	benchSetup(b)
+	in := ablationInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := phases.DetectNaive(in); len(out) == 0 {
+			b.Fatal("no phases")
+		}
+	}
+}
+
+func ablationInput(b *testing.B) phases.Input {
+	b.Helper()
+	var nginx *eval.AppEval
+	for _, a := range benchAppEval {
+		if a.Name == "nginx" {
+			nginx = a
+		}
+	}
+	return phases.Input{Graph: nginx.Report.Graph, Emits: nginx.Report.Emits()}
+}
+
+// --- substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkDecode measures raw instruction decoding.
+func BenchmarkDecode(b *testing.B) {
+	buf := []byte{0x48, 0x8B, 0x44, 0x24, 0x08} // mov rax, [rsp+8]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x86.Decode(buf, 0x400000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBinary builds a mid-sized static binary for substrate benches.
+func benchBinary(b *testing.B) *elff.Binary {
+	b.Helper()
+	bin, err := corpus.BuildProgram(corpus.Profile{
+		Name: "bench", Kind: elff.KindStatic,
+		HotDirect: 12, HotWrapper: 4, HotStack: 2, Handlers: 2,
+		ColdDirect: 8, ColdWrapper: 2, StackedTruth: 1,
+		Filler: 30, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bin
+}
+
+// BenchmarkCFGRecover measures disassembly + precise-CFG recovery.
+func BenchmarkCFGRecover(b *testing.B) {
+	bin := benchBinary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Recover(bin, cfg.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIdentify measures the full identification pass (wrapper
+// detection + backward search) on one binary.
+func BenchmarkIdentify(b *testing.B) {
+	bin := benchBinary(b)
+	g, err := cfg.Recover(bin, cfg.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ident.Analyze(g, ident.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmulate measures the ground-truth emulator.
+func BenchmarkEmulate(b *testing.B) {
+	bin := benchBinary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := emu.NewProcess(bin, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssemble measures corpus synthesis itself.
+func BenchmarkAssemble(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bld := asm.New()
+		bld.Func("_start")
+		for j := 0; j < 100; j++ {
+			bld.MovRegImm32(x86.RAX, uint32(j))
+			bld.Syscall()
+		}
+		bld.Ret()
+		if _, _, err := bld.Finalize(0x400000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package bside is a static binary-analysis library that identifies the
+// set of Linux system calls an x86-64 ELF executable may invoke at
+// runtime, without access to sources — a reproduction of "B-Side:
+// Binary-Level Static System Call Identification" (MIDDLEWARE 2024).
+//
+// The analysis disassembles the target, recovers a precise CFG with the
+// active-addresses-taken heuristic, detects syscall wrapper functions
+// with a two-phase heuristic, and determines each site's possible
+// syscall numbers with a backward search driven by directed forward
+// symbolic execution. Dynamically linked executables are resolved
+// against per-library shared interfaces computed once per library.
+//
+// Typical use:
+//
+//	a := bside.NewAnalyzer(bside.Options{LibraryDir: "deps/"})
+//	res, err := a.AnalyzeFile("bin/server")
+//	...
+//	policy := res.Policy() // seccomp-style allow list
+package bside
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"bside/internal/elff"
+	"bside/internal/filter"
+	"bside/internal/ident"
+	"bside/internal/linux"
+	"bside/internal/phases"
+	"bside/internal/shared"
+)
+
+// Options configures an Analyzer.
+type Options struct {
+	// LibraryDir is where DT_NEEDED dependencies are looked up (by
+	// exact name). Required for dynamically linked targets with
+	// dependencies.
+	LibraryDir string
+	// MaxCFGInstructions bounds disassembly work per binary; 0 uses a
+	// generous default. Exceeding the bound fails the analysis, like
+	// the paper's wall-clock timeout.
+	MaxCFGInstructions int
+	// Modules lists shared objects the target loads at runtime via
+	// dlopen-style mechanisms. Identifying them is the user's
+	// responsibility (as in the paper, §4.5); every exported function
+	// of a module is assumed callable and unioned into the result.
+	Modules []string
+}
+
+// Analyzer analyzes executables, caching shared-library interfaces
+// across calls (the once-per-library phase of the paper's §4.5).
+type Analyzer struct {
+	inner   *shared.Analyzer
+	modules []string
+}
+
+// NewAnalyzer builds an Analyzer.
+func NewAnalyzer(opts Options) *Analyzer {
+	dir := opts.LibraryDir
+	load := func(name string) (*elff.Binary, error) {
+		if dir == "" {
+			return nil, fmt.Errorf("bside: dependency %q needed but no LibraryDir configured", name)
+		}
+		return elff.ReadFile(filepath.Join(dir, name))
+	}
+	inner := shared.NewAnalyzer(load, ident.Config{})
+	inner.MaxCFGInsns = opts.MaxCFGInstructions
+	return &Analyzer{inner: inner, modules: opts.Modules}
+}
+
+// Analysis is the result of analyzing one executable.
+type Analysis struct {
+	// Syscalls is the identified superset of invocable syscall numbers,
+	// sorted ascending.
+	Syscalls []uint64
+	// FailOpen reports that at least one site could not be bounded; a
+	// safe filter derived from this analysis must allow the full table.
+	FailOpen bool
+	// Wrappers counts detected syscall-wrapper functions in the main
+	// binary.
+	Wrappers int
+	// Imports lists foreign symbols the program can reach.
+	Imports []string
+
+	report *shared.ProgramReport
+}
+
+// AnalyzeFile analyzes the ELF executable at path.
+func (a *Analyzer) AnalyzeFile(path string) (*Analysis, error) {
+	bin, err := elff.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return a.analyze(bin)
+}
+
+// AnalyzeBytes analyzes an in-memory ELF image.
+func (a *Analyzer) AnalyzeBytes(data []byte) (*Analysis, error) {
+	bin, err := elff.Read(data)
+	if err != nil {
+		return nil, err
+	}
+	return a.analyze(bin)
+}
+
+func (a *Analyzer) analyze(bin *elff.Binary) (*Analysis, error) {
+	rep, err := a.inner.Program(bin)
+	if err != nil {
+		return nil, err
+	}
+	out := &Analysis{
+		Syscalls: rep.Syscalls,
+		FailOpen: rep.FailOpen,
+		Wrappers: len(rep.Main.Wrappers),
+		Imports:  rep.Main.ReachableImports,
+		report:   rep,
+	}
+	// dlopen-style modules the user declared: union their behaviour.
+	for _, path := range a.modules {
+		mod, err := elff.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("bside: module %s: %w", path, err)
+		}
+		set, failOpen, err := a.inner.Module(mod, filepath.Base(path))
+		if err != nil {
+			return nil, fmt.Errorf("bside: module %s: %w", path, err)
+		}
+		out.FailOpen = out.FailOpen || failOpen
+		merged := make(map[uint64]bool, len(out.Syscalls)+len(set))
+		for _, n := range out.Syscalls {
+			merged[n] = true
+		}
+		for _, n := range set {
+			merged[n] = true
+		}
+		out.Syscalls = out.Syscalls[:0]
+		for n := range merged {
+			out.Syscalls = append(out.Syscalls, n)
+		}
+		sort.Slice(out.Syscalls, func(i, j int) bool { return out.Syscalls[i] < out.Syscalls[j] })
+	}
+	return out, nil
+}
+
+// Names returns the kernel names of the identified syscalls.
+func (r *Analysis) Names() []string {
+	out := make([]string, 0, len(r.Syscalls))
+	for _, n := range r.Syscalls {
+		if name := linux.Name(n); name != "" {
+			out = append(out, name)
+		} else {
+			out = append(out, fmt.Sprintf("syscall_%d", n))
+		}
+	}
+	return out
+}
+
+// Has reports whether syscall n is in the identified set.
+func (r *Analysis) Has(n uint64) bool {
+	i := sort.Search(len(r.Syscalls), func(i int) bool { return r.Syscalls[i] >= n })
+	return i < len(r.Syscalls) && r.Syscalls[i] == n
+}
+
+// Policy is a seccomp-style allow list derived from an analysis.
+type Policy struct {
+	// Allowed syscall numbers; everything else would be denied.
+	Allowed []uint64 `json:"allowed"`
+	// AllowedNames mirrors Allowed with kernel names.
+	AllowedNames []string `json:"allowed_names"`
+	// FailOpen means the analysis could not bound the set and the
+	// policy allows the entire table (unsafe to tighten).
+	FailOpen bool `json:"fail_open,omitempty"`
+}
+
+// Policy derives the filter policy for the whole program lifetime.
+func (r *Analysis) Policy() *Policy {
+	p := &Policy{FailOpen: r.FailOpen}
+	if r.FailOpen {
+		p.Allowed = linux.All()
+	} else {
+		p.Allowed = append([]uint64(nil), r.Syscalls...)
+	}
+	for _, n := range p.Allowed {
+		p.AllowedNames = append(p.AllowedNames, linux.Name(n))
+	}
+	return p
+}
+
+// Seccomp compiles the policy into a classic-BPF seccomp filter
+// program; denied syscalls return the errno action.
+func (p *Policy) Seccomp() (*filter.Program, error) {
+	return filter.Compile(p.Allowed, filter.ActionErrno)
+}
+
+// Phase is one execution phase with its own allow list (§4.7).
+type Phase struct {
+	// Allowed syscalls during this phase.
+	Allowed []uint64 `json:"allowed"`
+	// Transitions maps destination phase index to the syscalls whose
+	// invocation switches to it.
+	Transitions map[int][]uint64 `json:"transitions"`
+	// CodeBytes is the amount of program code mapped to the phase.
+	CodeBytes uint64 `json:"code_bytes"`
+}
+
+// PhaseReport is the phase automaton of a program.
+type PhaseReport struct {
+	Start  int     `json:"start"`
+	Phases []Phase `json:"phases"`
+}
+
+// PhaseOptions tunes phase detection.
+type PhaseOptions struct {
+	// BackPropagate prepares the policies for seccomp's tighten-only
+	// semantics by unioning future phases' allow lists backward.
+	BackPropagate bool
+	// CompactBytes, when non-zero, merges small single-exit phases into
+	// their successors until every remaining phase either exceeds this
+	// code size or branches. Allowed sets only grow, so the compacted
+	// policies stay sound.
+	CompactBytes uint64
+}
+
+// Phases extracts execution phases and per-phase allow lists from the
+// analyzed program.
+func (r *Analysis) Phases(opts PhaseOptions) (*PhaseReport, error) {
+	if r.FailOpen {
+		return nil, fmt.Errorf("bside: phase policies are meaningless for a fail-open analysis")
+	}
+	aut, err := phases.Detect(phases.Input{
+		Graph: r.report.Graph,
+		Emits: r.report.Emits(),
+	}, phases.Config{BackPropagate: opts.BackPropagate})
+	if err != nil {
+		return nil, err
+	}
+	if opts.CompactBytes > 0 {
+		aut = aut.Compact(opts.CompactBytes)
+	}
+	out := &PhaseReport{Start: aut.Start, Phases: make([]Phase, len(aut.Phases))}
+	for i, ph := range aut.Phases {
+		out.Phases[i] = Phase{
+			Allowed:     ph.Allowed,
+			Transitions: ph.Transitions,
+			CodeBytes:   ph.CodeSize,
+		}
+	}
+	return out, nil
+}
+
+// Disassembly renders the main binary's recovered control-flow graph as
+// a human-readable listing (functions, blocks, instructions, syscall
+// sites and import calls annotated).
+func (r *Analysis) Disassembly() string {
+	return r.report.Graph.Listing()
+}
+
+// SyscallName exposes the kernel name for a syscall number.
+func SyscallName(n uint64) string { return linux.Name(n) }
+
+// SyscallNumber exposes the number for a kernel syscall name.
+func SyscallNumber(name string) (uint64, bool) { return linux.Number(name) }

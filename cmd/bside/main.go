@@ -1,0 +1,93 @@
+// Command bside analyzes an x86-64 ELF executable and reports the
+// superset of system calls it may invoke, optionally with execution
+// phases and a seccomp-style policy.
+//
+// Usage:
+//
+//	bside [-libs dir] [-json] [-phases] [-policy] <binary>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"bside"
+)
+
+func main() {
+	libs := flag.String("libs", "", "directory with shared-library dependencies")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	withPhases := flag.Bool("phases", false, "detect execution phases")
+	asPolicy := flag.Bool("policy", false, "emit a seccomp-style allow-list policy")
+	disasm := flag.Bool("disasm", false, "print the recovered disassembly listing")
+	maxInsns := flag.Int("max-insns", 0, "disassembly budget (0 = default)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bside [-libs dir] [-json] [-phases] [-policy] [-disasm] <binary>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *libs, *asJSON, *withPhases, *asPolicy, *disasm, *maxInsns); err != nil {
+		fmt.Fprintln(os.Stderr, "bside:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, libDir string, asJSON, withPhases, asPolicy, disasm bool, maxInsns int) error {
+	a := bside.NewAnalyzer(bside.Options{LibraryDir: libDir, MaxCFGInstructions: maxInsns})
+	res, err := a.AnalyzeFile(path)
+	if err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	if disasm {
+		fmt.Print(res.Disassembly())
+		return nil
+	}
+	if asPolicy {
+		return enc.Encode(res.Policy())
+	}
+	if withPhases {
+		pr, err := res.Phases(bside.PhaseOptions{})
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return enc.Encode(pr)
+		}
+		fmt.Printf("%d phases (start %d)\n", len(pr.Phases), pr.Start)
+		for i, ph := range pr.Phases {
+			fmt.Printf("phase %d: %d syscalls allowed, %d bytes of code, %d outgoing transitions\n",
+				i, len(ph.Allowed), ph.CodeBytes, len(ph.Transitions))
+		}
+		return nil
+	}
+	if asJSON {
+		return enc.Encode(struct {
+			Syscalls []uint64 `json:"syscalls"`
+			Names    []string `json:"names"`
+			FailOpen bool     `json:"fail_open,omitempty"`
+			Wrappers int      `json:"wrappers"`
+			Imports  []string `json:"imports,omitempty"`
+		}{res.Syscalls, res.Names(), res.FailOpen, res.Wrappers, res.Imports})
+	}
+
+	fmt.Printf("%d system calls identified", len(res.Syscalls))
+	if res.FailOpen {
+		fmt.Printf(" (FAIL-OPEN: unbounded site, full table required)")
+	}
+	fmt.Println()
+	names := res.Names()
+	for i, n := range res.Syscalls {
+		fmt.Printf("  %3d  %s\n", n, names[i])
+	}
+	if res.Wrappers > 0 {
+		fmt.Printf("%d syscall wrapper(s) detected\n", res.Wrappers)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Command bsideeval regenerates every table and figure of the paper's
+// evaluation (§5) over the synthetic corpus and prints them in the
+// paper's layout.
+//
+// Usage:
+//
+//	bsideeval [-exp all|fig7|table1|table2|table3|table4|table5|fig8] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bside/internal/corpus"
+	"bside/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig7, table1, table2, table3, table4, table5, fig8")
+	seed := flag.Int64("seed", 42, "Debian corpus seed")
+	flag.Parse()
+
+	if err := run(strings.ToLower(*exp), *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "bsideeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed int64) error {
+	needApps := exp == "all" || exp == "fig7" || exp == "table1" || exp == "table3" || exp == "table4"
+	needDebian := exp == "all" || exp == "table2" || exp == "fig8" || exp == "table5"
+
+	var apps []*eval.AppEval
+	if needApps {
+		set, err := corpus.GenerateApps()
+		if err != nil {
+			return err
+		}
+		apps, err = eval.EvalApps(set)
+		if err != nil {
+			return err
+		}
+	}
+	var deb *eval.DebianEval
+	if needDebian {
+		fmt.Fprintln(os.Stderr, "generating and evaluating the 557-binary corpus (about 10s)...")
+		set, err := corpus.GenerateDebian(seed)
+		if err != nil {
+			return err
+		}
+		deb, err = eval.EvalDebian(set)
+		if err != nil {
+			return err
+		}
+	}
+
+	show := func(name, out string) {
+		fmt.Println(out)
+	}
+	if exp == "all" || exp == "fig7" {
+		show("fig7", eval.Figure7(apps))
+	}
+	if exp == "all" || exp == "table1" {
+		show("table1", eval.Table1(apps))
+	}
+	if exp == "all" || exp == "table2" {
+		show("table2", eval.Table2(deb))
+	}
+	if exp == "all" || exp == "fig8" {
+		show("fig8", eval.Figure8(deb))
+	}
+	if exp == "all" || exp == "table3" {
+		show("table3", eval.Table3(apps))
+	}
+	if exp == "all" || exp == "table4" {
+		var nginx *eval.AppEval
+		for _, a := range apps {
+			if a.Name == "nginx" {
+				nginx = a
+			}
+		}
+		ps, err := eval.EvalPhases(nginx)
+		if err != nil {
+			return err
+		}
+		show("table4", eval.Table4(ps))
+	}
+	if exp == "all" || exp == "table5" {
+		show("table5", eval.Table5(deb))
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command bsidegen materializes the synthetic evaluation corpus on
+// disk: the six application stand-ins, the 557-binary Debian-shaped
+// set, their shared libraries, and a manifest with each binary's
+// emulator-derived ground truth.
+//
+// Usage:
+//
+//	bsidegen -out corpus/ [-seed 42] [-apps-only]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bside/internal/corpus"
+)
+
+type manifestEntry struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"` // static | dynamic
+	Truth  []uint64 `json:"truth"`
+	Needed []string `json:"needed,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	appsOnly := flag.Bool("apps-only", false, "generate only the 6 applications")
+	flag.Parse()
+
+	if err := run(*out, *seed, *appsOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "bsidegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed int64, appsOnly bool) error {
+	for _, sub := range []string{"apps", "debian", "libs"} {
+		if err := os.MkdirAll(filepath.Join(out, sub), 0o755); err != nil {
+			return err
+		}
+	}
+
+	appSet, err := corpus.GenerateApps()
+	if err != nil {
+		return err
+	}
+	var manifest []manifestEntry
+	write := func(dir string, builds []*corpus.Build) error {
+		for _, b := range builds {
+			path := filepath.Join(out, dir, b.Profile.Name)
+			if err := b.Bin.WriteFile(path); err != nil {
+				return err
+			}
+			kind := "dynamic"
+			if b.IsStatic() {
+				kind = "static"
+			}
+			manifest = append(manifest, manifestEntry{
+				Name: dir + "/" + b.Profile.Name, Kind: kind,
+				Truth: b.Truth, Needed: b.Bin.Needed,
+			})
+		}
+		return nil
+	}
+	if err := write("apps", appSet.Apps); err != nil {
+		return err
+	}
+	libs := appSet.Libs
+
+	if !appsOnly {
+		debSet, err := corpus.GenerateDebian(seed)
+		if err != nil {
+			return err
+		}
+		if err := write("debian", debSet.Debian); err != nil {
+			return err
+		}
+		libs = debSet.Libs
+	}
+
+	for name, lib := range libs {
+		if err := lib.WriteFile(filepath.Join(out, "libs", name)); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Create(filepath.Join(out, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(manifest); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d binaries + %d libraries to %s\n", len(manifest), len(libs), out)
+	return nil
+}

@@ -1,0 +1,61 @@
+// Cveaudit: audit the six application stand-ins against the paper's
+// CVE table (Table 5): for each application, which kernel CVEs would a
+// B-Side-derived filter protect against?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bside/internal/corpus"
+	"bside/internal/eval"
+	"bside/internal/linux"
+)
+
+func main() {
+	set, err := corpus.GenerateApps()
+	if err != nil {
+		log.Fatal(err)
+	}
+	apps, err := eval.EvalApps(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-16s", "CVE")
+	for _, a := range apps {
+		fmt.Printf("  %-9s", a.Name)
+	}
+	fmt.Println()
+
+	protectedCount := make(map[string]int)
+	for _, cve := range linux.CVEs {
+		fmt.Printf("%-16s", cve.ID)
+		for _, a := range apps {
+			have := make(map[uint64]bool)
+			for _, n := range a.BSide.Syscalls {
+				have[n] = true
+			}
+			protected := false
+			for _, s := range cve.Syscalls {
+				if !have[s] {
+					protected = true
+					break
+				}
+			}
+			mark := "exposed"
+			if protected {
+				mark = "blocked"
+				protectedCount[a.Name]++
+			}
+			fmt.Printf("  %-9s", mark)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n%-16s", "TOTAL blocked")
+	for _, a := range apps {
+		fmt.Printf("  %2d/%d     ", protectedCount[a.Name], len(linux.CVEs))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,85 @@
+// Filtergen: derive a seccomp-style allow-list policy for one of the
+// application stand-ins, and compare the strictness against the two
+// baseline tools.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bside/internal/baseline"
+	"bside/internal/corpus"
+	"bside/internal/eval"
+	"bside/internal/ident"
+	"bside/internal/linux"
+	"bside/internal/shared"
+)
+
+func main() {
+	app := flag.String("app", "nginx", "application profile: redis, nginx, haproxy, memcached, lighttpd, sqlite")
+	flag.Parse()
+
+	set, err := corpus.GenerateApps()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var target *corpus.Build
+	for _, a := range set.Apps {
+		if a.Profile.Name == *app {
+			target = a
+		}
+	}
+	if target == nil {
+		log.Fatalf("unknown app %q", *app)
+	}
+
+	an := shared.NewAnalyzer(set.LoadLib, ident.Config{})
+	rep, err := an.Program(target.Bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== %s ==\n", *app)
+	fmt.Printf("dynamic ground truth (emulated test run): %d syscalls\n", len(target.Truth))
+	fmt.Printf("B-Side policy allows:                     %d syscalls\n", len(rep.Syscalls))
+	if c, err := baseline.Chestnut(target.Bin); err == nil {
+		fmt.Printf("Chestnut would allow:                     %d syscalls (fallback=%v)\n",
+			len(c.Syscalls), c.FellBack)
+	}
+	if s, err := baseline.SysFilter(target.Bin); err == nil {
+		fmt.Printf("SysFilter would allow:                    %d syscalls\n", len(s.Syscalls))
+	}
+	if fn := eval.FalseNegatives(rep.Syscalls, target.Truth); len(fn) > 0 {
+		log.Fatalf("false negatives! %v", fn)
+	}
+	fmt.Printf("blocked dangerous syscalls: ")
+	for _, d := range linux.Dangerous() {
+		blocked := true
+		for _, n := range rep.Syscalls {
+			if n == d {
+				blocked = false
+			}
+		}
+		if blocked {
+			fmt.Printf("%s ", linux.Name(d))
+		}
+	}
+	fmt.Println()
+
+	policy := struct {
+		DefaultAction string   `json:"defaultAction"`
+		Allowed       []string `json:"allowedSyscalls"`
+	}{DefaultAction: "SCMP_ACT_ERRNO"}
+	for _, n := range rep.Syscalls {
+		policy.Allowed = append(policy.Allowed, linux.Name(n))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	fmt.Println("\nseccomp-style policy:")
+	if err := enc.Encode(policy); err != nil {
+		log.Fatal(err)
+	}
+}

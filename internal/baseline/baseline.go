@@ -1,0 +1,66 @@
+// Package baseline reimplements the two state-of-the-art competitors the
+// paper evaluates against (§3), faithfully reproducing their published
+// mechanisms and limitations:
+//
+//   - Chestnut (Canella et al., CCSW'21): backward scan over at most 30
+//     instructions, registers only, a hardcoded special case for the
+//     glibc syscall() wrapper, a permissive fallback set when a site
+//     cannot be resolved, and a loader that only handles dynamic (PIE)
+//     objects — hence its near-total failure on static executables.
+//
+//   - SysFilter (DeMarinis et al., RAID'20): intra-procedural use-define
+//     chains over registers (no memory tracking — wrapper-carried
+//     syscalls are silently missed, the paper's main source of its
+//     false negatives), function boundaries recovered from unwind
+//     information, and no support for non-PIC executables.
+package baseline
+
+import (
+	"errors"
+	"sort"
+
+	"bside/internal/cfg"
+	"bside/internal/elff"
+)
+
+// Unsupported-input errors (Table 2's failure modes).
+var (
+	// ErrStaticUnsupported is returned by both tools on ET_EXEC images.
+	ErrStaticUnsupported = errors.New("baseline: static (non-PIC) executables unsupported")
+	// ErrNoUnwind is SysFilter's failure on binaries without unwind
+	// metadata for function-boundary recovery.
+	ErrNoUnwind = errors.New("baseline: no unwind information for function boundaries")
+)
+
+// Result is a baseline tool's output for one module.
+type Result struct {
+	// Syscalls is the identified set, sorted.
+	Syscalls []uint64
+	// SitesTotal and SitesResolved count syscall sites seen/resolved.
+	SitesTotal    int
+	SitesResolved int
+	// FellBack is set when the permissive fallback set was unioned in
+	// (Chestnut only).
+	FellBack bool
+}
+
+// recoverAll builds a CFG for baseline use. Baselines scan every
+// syscall site in the module (no reachability pruning): that whole-image
+// scope is one of their documented sources of overestimation.
+func recoverAll(bin *elff.Binary, budget int) (*cfg.Graph, error) {
+	extra := make([]uint64, 0, len(bin.Symbols))
+	for _, addr := range bin.Symbols {
+		extra = append(extra, addr)
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return cfg.Recover(bin, cfg.Options{MaxInsns: budget, ExtraRoots: extra})
+}
+
+func sortedSet(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

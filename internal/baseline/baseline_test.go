@@ -1,0 +1,178 @@
+package baseline
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"bside/internal/asm"
+	"bside/internal/elff"
+	"bside/internal/testbin"
+	"bside/internal/x86"
+)
+
+// dynBin builds a dynamic (PIE-like) binary with unwind info.
+func dynBin(t *testing.T, fn func(b *asm.Builder)) *elff.Binary {
+	t.Helper()
+	bin, _ := testbin.Build(t, elff.KindDynamic, fn, func(spec *elff.Spec, syms map[string]uint64) {
+		spec.HasUnwind = true
+	})
+	return bin
+}
+
+func TestBothRefuseStatic(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+	}, nil)
+	if _, err := Chestnut(bin); !errors.Is(err, ErrStaticUnsupported) {
+		t.Errorf("chestnut: %v", err)
+	}
+	if _, err := SysFilter(bin); !errors.Is(err, ErrStaticUnsupported) {
+		t.Errorf("sysfilter: %v", err)
+	}
+}
+
+func TestSysFilterNeedsUnwind(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindDynamic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+	}, nil) // HasUnwind defaults to false
+	if _, err := SysFilter(bin); !errors.Is(err, ErrNoUnwind) {
+		t.Fatalf("want ErrNoUnwind, got %v", err)
+	}
+}
+
+func TestSimpleSiteBothResolve(t *testing.T) {
+	bin := dynBin(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+	})
+	c, err := Chestnut(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Syscalls, []uint64{60}) || c.FellBack {
+		t.Fatalf("chestnut: %v fellback=%v", c.Syscalls, c.FellBack)
+	}
+	s, err := SysFilter(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Syscalls, []uint64{60}) {
+		t.Fatalf("sysfilter: %v", s.Syscalls)
+	}
+}
+
+func TestChestnutWindowTooShort(t *testing.T) {
+	// The immediate is more than 30 instructions before the syscall:
+	// Chestnut falls back to its permissive set; SysFilter's use-define
+	// chains still resolve it.
+	bin := dynBin(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 2)
+		for i := 0; i < 40; i++ {
+			b.IncReg(x86.RBX)
+		}
+		b.Syscall()
+		b.Ret()
+	})
+	c, err := Chestnut(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.FellBack {
+		t.Fatal("chestnut must fall back beyond its 30-insn window")
+	}
+	if len(c.Syscalls) != 270 {
+		t.Fatalf("fallback size = %d, want 270", len(c.Syscalls))
+	}
+	s, err := SysFilter(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Syscalls, []uint64{2}) {
+		t.Fatalf("sysfilter: %v", s.Syscalls)
+	}
+}
+
+func TestWrapperMissedBySysFilter(t *testing.T) {
+	// A register wrapper: SysFilter silently misses the values (false
+	// negatives), Chestnut falls back (false positives).
+	bin := dynBin(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RDI, 39)
+		b.CallLabel("w")
+		b.Ret()
+		b.Func("w")
+		b.MovRegReg(x86.RAX, x86.RDI)
+		b.Syscall()
+		b.Ret()
+	})
+	s, err := SysFilter(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Syscalls) != 0 || s.SitesResolved != 0 {
+		t.Fatalf("sysfilter should miss wrapper values: %v", s.Syscalls)
+	}
+	c, err := Chestnut(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.FellBack {
+		t.Fatal("chestnut must fall back on a non-glibc wrapper")
+	}
+}
+
+func TestChestnutGlibcSpecialCase(t *testing.T) {
+	// An export named exactly "syscall" triggers Binalyzer's hardcoded
+	// wrapper handling: call sites with mov edi, imm resolve.
+	bin, _ := testbin.Build(t, elff.KindShared, func(b *asm.Builder) {
+		b.Func("user")
+		b.MovRegImm32(x86.RDI, 41)
+		b.CallLabel("syscall")
+		b.Ret()
+		b.Func("syscall")
+		b.MovRegReg(x86.RAX, x86.RDI)
+		b.Syscall()
+		b.Ret()
+	}, func(spec *elff.Spec, syms map[string]uint64) {
+		spec.HasUnwind = true
+		spec.Exports = []elff.Export{
+			{Name: "user", Addr: syms["user"]},
+			{Name: "syscall", Addr: syms["syscall"]},
+		}
+	})
+	c, err := Chestnut(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FellBack {
+		t.Fatal("glibc wrapper case must not fall back")
+	}
+	if !reflect.DeepEqual(c.Syscalls, []uint64{41}) {
+		t.Fatalf("chestnut: %v", c.Syscalls)
+	}
+}
+
+func TestChestnutFallbackSetShape(t *testing.T) {
+	fb := ChestnutFallback()
+	if len(fb) != 270 {
+		t.Fatalf("fallback size %d, want 270", len(fb))
+	}
+	inSet := make(map[uint64]bool, len(fb))
+	for _, n := range fb {
+		inSet[n] = true
+	}
+	if !inSet[59] || !inSet[0] || !inSet[60] {
+		t.Fatal("fallback must keep common syscalls (read, execve, exit)")
+	}
+	if inSet[175] || inSet[154] {
+		t.Fatal("fallback must exclude denylisted module/ldt syscalls")
+	}
+}

@@ -1,0 +1,286 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"bside/internal/asm"
+	"bside/internal/elff"
+	"bside/internal/x86"
+)
+
+// assemble builds an image from fn and parses it back.
+func assemble(t *testing.T, kind elff.Kind, fn func(b *asm.Builder)) (*elff.Binary, map[string]uint64) {
+	t.Helper()
+	b := asm.New()
+	fn(b)
+	b.Label("__code_end")
+	img, syms, err := b.Finalize(0x400000)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	spec := elff.Spec{
+		Kind:     kind,
+		Base:     0x400000,
+		Entry:    syms["_start"],
+		Blob:     img,
+		CodeSize: syms["__code_end"] - 0x400000,
+		Symbols:  syms,
+	}
+	if kind == elff.KindShared {
+		spec.Entry = 0
+	}
+	data, err := elff.Write(spec)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	bin, err := elff.Read(data)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return bin, syms
+}
+
+func TestRecoverLinearAndBranches(t *testing.T) {
+	bin, syms := assemble(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RCX, 3)
+		b.Label("loop")
+		b.DecReg(x86.RCX)
+		b.CmpRegImm(x86.RCX, 0)
+		b.Jcc(x86.CondNE, "loop")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Label("after")
+		b.Ret()
+	})
+	g, err := Recover(bin, Options{})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if _, ok := g.BlockAt(syms["loop"]); !ok {
+		t.Fatal("loop head must be a block leader")
+	}
+	sys := g.SyscallBlocks()
+	if len(sys) != 1 {
+		t.Fatalf("want 1 syscall block, got %d", len(sys))
+	}
+	if !sys[0].EndsInSyscall() {
+		t.Fatal("syscall must end its block")
+	}
+	// The loop block must have two predecessrs: entry fall-through and
+	// the backward jump.
+	loop, _ := g.BlockAt(syms["loop"])
+	if len(loop.Preds) != 2 {
+		t.Fatalf("loop preds = %d", len(loop.Preds))
+	}
+	// Syscall block falls through to the after block.
+	found := false
+	for _, e := range sys[0].Succs {
+		if e.Kind == EdgeFall && e.To.Addr == syms["after"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing syscall fall-through edge")
+	}
+}
+
+func TestRecoverCallEdges(t *testing.T) {
+	bin, syms := assemble(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.CallLabel("fn")
+		b.Label("retsite")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Func("fn")
+		b.MovRegImm32(x86.RAX, 1)
+		b.Syscall()
+		b.Ret()
+	})
+	g, err := Recover(bin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := g.BlockAt(syms["_start"])
+	var haveCall, haveFall bool
+	for _, e := range entry.Succs {
+		switch e.Kind {
+		case EdgeCall:
+			haveCall = e.To.Addr == syms["fn"]
+		case EdgeCallFall:
+			haveFall = e.To.Addr == syms["retsite"]
+		}
+	}
+	if !haveCall || !haveFall {
+		t.Fatalf("call edges: call=%v fall=%v", haveCall, haveFall)
+	}
+	// Function inference: fn must be its own function.
+	f, ok := g.FuncByEntry(syms["fn"])
+	if !ok || f.Name != "fn" {
+		t.Fatalf("fn function: %+v ok=%v", f, ok)
+	}
+	if blk, ok := g.BlockContaining(syms["fn"] + 1); !ok || blk.Addr != syms["fn"] {
+		t.Fatal("BlockContaining failed")
+	}
+}
+
+func TestActiveAddressTaken(t *testing.T) {
+	// Entry leas fptr1 and calls it indirectly. fptr2 is lea'd only from
+	// dead (unreachable) code, so it must not become an indirect target:
+	// the "active" refinement distinguishes it from the plain
+	// address-taken set.
+	bin, syms := assemble(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.Lea(x86.RAX, "fptr1")
+		b.CallReg(x86.RAX)
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Func("dead")
+		b.Lea(x86.RBX, "fptr2")
+		b.Ret()
+		b.Func("fptr1")
+		b.MovRegImm32(x86.RAX, 1)
+		b.Syscall()
+		b.Ret()
+		b.Func("fptr2")
+		b.MovRegImm32(x86.RAX, 2)
+		b.Syscall()
+		b.Ret()
+	})
+	g, err := Recover(bin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.ActiveAddrTaken) != 1 || g.ActiveAddrTaken[0] != syms["fptr1"] {
+		t.Fatalf("active addr taken: %#x", g.ActiveAddrTaken)
+	}
+	// The full addr-taken set includes both (dead code was decoded from
+	// the symbol root only if symbols exist; fptr2's lea lives in
+	// "dead" which is in the symbol table, hence decoded).
+	if len(g.AddrTaken) != 2 {
+		t.Fatalf("addr taken: %#x", g.AddrTaken)
+	}
+	entry, _ := g.BlockAt(syms["_start"])
+	// _start's first block ends at the indirect call; find that block.
+	icall, ok := g.BlockContaining(syms["fptr1"] - 1) // last byte before fptr1 is dead's ret
+	_ = icall
+	_ = ok
+	var itargets []uint64
+	for _, blk := range g.SortedBlocks() {
+		for _, e := range blk.Succs {
+			if e.Kind == EdgeIndirectCall {
+				itargets = append(itargets, e.To.Addr)
+			}
+		}
+	}
+	if len(itargets) != 1 || itargets[0] != syms["fptr1"] {
+		t.Fatalf("indirect targets: %#x", itargets)
+	}
+	_ = entry
+}
+
+func TestImportStubResolution(t *testing.T) {
+	b := asm.New()
+	b.Func("_start")
+	b.CallLabel("stub_write")
+	b.MovRegImm32(x86.RAX, 60)
+	b.Syscall()
+	b.Ret()
+	b.Func("stub_write")
+	b.JmpMemRIP("got_write")
+	b.Label("__code_end")
+	b.Align(8)
+	b.Label("got_write")
+	b.Quad(0)
+	img, syms, err := b.Finalize(0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := elff.Write(elff.Spec{
+		Kind: elff.KindDynamic, Base: 0x400000, Entry: syms["_start"], Blob: img,
+		CodeSize: syms["__code_end"] - 0x400000,
+		Imports:  []elff.Import{{Name: "write", SlotAddr: syms["got_write"]}},
+		Needed:   []string{"libc.so"},
+		Symbols:  syms,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elff.Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Recover(bin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := g.ImportStubs[syms["stub_write"]]; name != "write" {
+		t.Fatalf("stub map: %v", g.ImportStubs)
+	}
+	stub, _ := g.BlockAt(syms["stub_write"])
+	if stub.ImportCall != "write" {
+		t.Fatalf("stub block import: %q", stub.ImportCall)
+	}
+	if len(stub.Succs) != 0 {
+		t.Fatal("import stub must have no local successors")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	bin, _ := assemble(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		for i := 0; i < 100; i++ {
+			b.Nop()
+		}
+		b.Ret()
+	})
+	_, err := Recover(bin, Options{MaxInsns: 10})
+	if err != ErrBudget {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestListing(t *testing.T) {
+	bin, _ := assemble(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+	})
+	g, err := Recover(bin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Listing()
+	for _, want := range []string{"_start:", "syscall", "[syscall site]", "block"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReachability(t *testing.T) {
+	bin, syms := assemble(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.CallLabel("used")
+		b.Ret()
+		b.Func("used")
+		b.Ret()
+		b.Func("unused")
+		b.Ret()
+	})
+	g, err := Recover(bin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := g.Reachable(bin.Entry)
+	if used, _ := g.BlockAt(syms["used"]); !reach[used] {
+		t.Fatal("used must be reachable")
+	}
+	if unused, ok := g.BlockAt(syms["unused"]); ok && reach[unused] {
+		t.Fatal("unused must not be reachable from entry")
+	}
+}

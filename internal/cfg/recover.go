@@ -1,0 +1,420 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"bside/internal/elff"
+	"bside/internal/x86"
+)
+
+// Options configures CFG recovery.
+type Options struct {
+	// MaxInsns bounds the total number of decoded instructions across
+	// all refinement rounds; 0 means a generous default. Exceeding it
+	// yields ErrBudget (the analysis-timeout analog).
+	MaxInsns int
+	// MaxRounds bounds active-address-taken refinement iterations.
+	MaxRounds int
+	// ExtraRoots are additional traversal entry points (e.g. exported
+	// functions of a shared library).
+	ExtraRoots []uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInsns == 0 {
+		o.MaxInsns = 4_000_000
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 32
+	}
+	return o
+}
+
+// Recover disassembles bin and builds its precise CFG, including
+// heuristic indirect edges via active addresses taken (§4.3). Roots are
+// the entry point (executables), exported functions (libraries) and any
+// extra roots passed in the options.
+func Recover(bin *elff.Binary, opts Options) (*Graph, error) {
+	opts = opts.withDefaults()
+	b := &builder{
+		bin:    bin,
+		insns:  make(map[uint64]x86.Inst),
+		leader: make(map[uint64]bool),
+		budget: opts.MaxInsns,
+	}
+
+	// Reachability roots drive the *active* address-taken refinement:
+	// the entry point for executables, exported functions for
+	// libraries, plus caller-specified roots.
+	var roots []uint64
+	if bin.Entry != 0 {
+		roots = append(roots, bin.Entry)
+	}
+	for _, e := range bin.Exports {
+		roots = append(roots, e.Addr)
+	}
+	roots = append(roots, opts.ExtraRoots...)
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("cfg: no traversal roots for %s image", bin.Kind)
+	}
+
+	// Decode roots additionally include function symbols, mirroring
+	// disassemblers that sweep all known function starts; code decoded
+	// this way is analyzed but only counts as reachable if the
+	// refinement loop can actually get there from the real roots.
+	decodeRoots := append([]uint64(nil), roots...)
+	for _, addr := range bin.Symbols {
+		decodeRoots = append(decodeRoots, addr)
+	}
+
+	// Data-carried code pointers (jump tables, vtables): aligned quads
+	// in the data region pointing into code are addresses taken that
+	// the lea scan cannot see. SysFilter harvests these from
+	// relocations; we harvest them from the image. They are
+	// conservatively active from the start — missing one would be a
+	// false-negative source.
+	dataPtrs := scanDataPointers(bin)
+	decodeRoots = append(decodeRoots, dataPtrs...)
+
+	if err := b.traverse(decodeRoots); err != nil {
+		return nil, err
+	}
+
+	g := &Graph{
+		Bin:         bin,
+		ImportStubs: make(map[uint64]string),
+		Roots:       roots,
+	}
+
+	// Iteratively: build blocks/edges, compute reachability, activate
+	// addresses taken found in reachable blocks, wire indirect edges,
+	// and re-traverse newly discovered code (Figure 4's loop).
+	active := make(map[uint64]bool)
+	for _, p := range dataPtrs {
+		active[p] = true
+	}
+	for round := 1; ; round++ {
+		if round > opts.MaxRounds {
+			return nil, fmt.Errorf("cfg: no fixpoint after %d rounds", opts.MaxRounds)
+		}
+		g.Stats.Iterations = round
+		b.buildBlocks(g, active)
+
+		reach := g.Reachable(roots...)
+		grew := false
+		for blk := range reach {
+			for _, in := range blk.Insns {
+				if in.Op != x86.OpLea {
+					continue
+				}
+				ea, ok := in.MemEA(in.Src)
+				if !ok || !bin.CodeContains(ea) {
+					continue
+				}
+				if !active[ea] {
+					active[ea] = true
+					grew = true
+					if err := b.traverse([]uint64{ea}); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	g.ActiveAddrTaken = sortedAddrs(active)
+	g.AddrTaken = b.allAddrTaken(bin)
+	b.inferFunctions(g, active)
+	g.Stats.DecodedInsns = b.decoded
+	g.Stats.NumBlocks = len(g.Blocks)
+	for _, blk := range g.sortedBlocks {
+		g.Stats.NumEdges += len(blk.Succs)
+	}
+	g.Stats.DecodeFailures = b.decodeFailures
+	return g, nil
+}
+
+type builder struct {
+	bin            *elff.Binary
+	insns          map[uint64]x86.Inst
+	leader         map[uint64]bool
+	decoded        int
+	decodeFailures int
+	budget         int
+}
+
+// traverse decodes instructions reachable from the given addresses via
+// direct control flow, recording block leaders.
+func (b *builder) traverse(starts []uint64) error {
+	work := make([]uint64, 0, len(starts))
+	for _, s := range starts {
+		if b.bin.CodeContains(s) {
+			b.leader[s] = true
+			work = append(work, s)
+		}
+	}
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		for {
+			if _, done := b.insns[addr]; done {
+				break
+			}
+			if !b.bin.CodeContains(addr) {
+				break
+			}
+			if b.decoded >= b.budget {
+				return ErrBudget
+			}
+			buf, _ := b.bin.BytesAt(addr)
+			inst, err := x86.Decode(buf, addr)
+			if err != nil {
+				// Undecodable bytes end the path (data reached or
+				// padding); the block formed so far stays valid.
+				b.decodeFailures++
+				break
+			}
+			b.insns[addr] = inst
+			b.decoded++
+
+			if tgt, ok := inst.BranchTarget(); ok && b.bin.CodeContains(tgt) {
+				b.leader[tgt] = true
+				work = append(work, tgt)
+			}
+			switch inst.Op {
+			case x86.OpJmp, x86.OpJmpInd, x86.OpRet, x86.OpUd2, x86.OpHlt, x86.OpInt3:
+				// No fall-through.
+			case x86.OpJcc, x86.OpCall, x86.OpCallInd, x86.OpSyscall:
+				b.leader[inst.Next()] = true
+				work = append(work, inst.Next())
+			default:
+				addr = inst.Next()
+				continue
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// buildBlocks (re)constructs blocks and edges from the decoded
+// instruction map, wiring indirect edges to the currently active
+// addresses taken.
+func (b *builder) buildBlocks(g *Graph, active map[uint64]bool) {
+	addrs := make([]uint64, 0, len(b.insns))
+	for a := range b.insns {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	g.Blocks = make(map[uint64]*Block, len(b.leader))
+	g.sortedBlocks = g.sortedBlocks[:0]
+
+	var cur *Block
+	flush := func() {
+		if cur != nil && len(cur.Insns) > 0 {
+			g.Blocks[cur.Addr] = cur
+			g.sortedBlocks = append(g.sortedBlocks, cur)
+		}
+		cur = nil
+	}
+	var prevEnd uint64
+	for _, a := range addrs {
+		inst := b.insns[a]
+		if cur == nil || b.leader[a] || a != prevEnd {
+			flush()
+			cur = &Block{Addr: a}
+		}
+		cur.Insns = append(cur.Insns, inst)
+		prevEnd = inst.Next()
+		if inst.IsTerminator() || inst.IsCall() || inst.Op == x86.OpSyscall {
+			flush()
+		}
+	}
+	flush()
+
+	activeBlocks := make([]*Block, 0, len(active))
+	for ea := range active {
+		if blk, ok := g.Blocks[ea]; ok {
+			activeBlocks = append(activeBlocks, blk)
+		}
+	}
+	sort.Slice(activeBlocks, func(i, j int) bool { return activeBlocks[i].Addr < activeBlocks[j].Addr })
+
+	addEdge := func(kind EdgeKind, from, to *Block) {
+		e := Edge{Kind: kind, From: from, To: to}
+		from.Succs = append(from.Succs, e)
+		to.Preds = append(to.Preds, e)
+	}
+	edgeTo := func(kind EdgeKind, from *Block, target uint64) {
+		if to, ok := g.Blocks[target]; ok {
+			addEdge(kind, from, to)
+		}
+	}
+
+	for _, blk := range g.sortedBlocks {
+		last := blk.Last()
+		switch last.Op {
+		case x86.OpJmp:
+			edgeTo(EdgeJump, blk, uint64(last.Dst.Imm))
+		case x86.OpJcc:
+			edgeTo(EdgeJump, blk, uint64(last.Dst.Imm))
+			edgeTo(EdgeFall, blk, last.Next())
+		case x86.OpCall:
+			edgeTo(EdgeCall, blk, uint64(last.Dst.Imm))
+			edgeTo(EdgeCallFall, blk, last.Next())
+		case x86.OpCallInd:
+			if name, ok := b.importTarget(last); ok {
+				blk.ImportCall = name
+			} else {
+				for _, t := range activeBlocks {
+					addEdge(EdgeIndirectCall, blk, t)
+				}
+			}
+			edgeTo(EdgeCallFall, blk, last.Next())
+		case x86.OpJmpInd:
+			if name, ok := b.importTarget(last); ok {
+				blk.ImportCall = name
+				g.ImportStubs[blk.Addr] = name
+			} else {
+				for _, t := range activeBlocks {
+					addEdge(EdgeIndirectJump, blk, t)
+				}
+			}
+		case x86.OpRet, x86.OpUd2, x86.OpHlt, x86.OpInt3:
+			// No successors; returns are modeled by EdgeCallFall.
+		default:
+			// Fall-through block boundary (syscall or leader split).
+			edgeTo(EdgeFall, blk, last.Next())
+		}
+	}
+}
+
+// importTarget resolves a call/jmp through [rip+slot] against the import
+// table.
+func (b *builder) importTarget(inst x86.Inst) (string, bool) {
+	ea, ok := inst.MemEA(inst.Dst)
+	if !ok {
+		return "", false
+	}
+	return b.importAtSlot(ea)
+}
+
+func (b *builder) importAtSlot(slot uint64) (string, bool) {
+	for _, im := range b.bin.Imports {
+		if im.SlotAddr == slot {
+			return im.Name, true
+		}
+	}
+	return "", false
+}
+
+// allAddrTaken scans every decoded instruction for lea operands landing
+// in code, reachable or not (SysFilter's original, non-active notion).
+func (b *builder) allAddrTaken(bin *elff.Binary) []uint64 {
+	set := make(map[uint64]bool)
+	for _, in := range b.insns {
+		if in.Op != x86.OpLea {
+			continue
+		}
+		if ea, ok := in.MemEA(in.Src); ok && bin.CodeContains(ea) {
+			set[ea] = true
+		}
+	}
+	return sortedAddrs(set)
+}
+
+// inferFunctions derives function boundaries: entries are symbols,
+// exports, roots, direct call targets and active addresses taken; block
+// membership follows the nearest-preceding-entry rule.
+func (b *builder) inferFunctions(g *Graph, active map[uint64]bool) {
+	entries := make(map[uint64]string)
+	markEntry := func(addr uint64, name string) {
+		if _, ok := g.Blocks[addr]; !ok {
+			return
+		}
+		if cur, ok := entries[addr]; !ok || cur == "" {
+			entries[addr] = name
+		}
+	}
+	for name, addr := range g.Bin.Symbols {
+		markEntry(addr, name)
+	}
+	for _, e := range g.Bin.Exports {
+		markEntry(e.Addr, e.Name)
+	}
+	for _, r := range g.Roots {
+		markEntry(r, "")
+	}
+	for ea := range active {
+		markEntry(ea, "")
+	}
+	for _, blk := range g.sortedBlocks {
+		if last := blk.Last(); last.Op == x86.OpCall {
+			markEntry(uint64(last.Dst.Imm), "")
+		}
+	}
+
+	addrs := sortedAddrs64(entries)
+	g.Funcs = make([]*Func, 0, len(addrs))
+	g.funcByEntry = make(map[uint64]*Func, len(addrs))
+	for _, a := range addrs {
+		f := &Func{Entry: a, Name: entries[a]}
+		g.Funcs = append(g.Funcs, f)
+		g.funcByEntry[a] = f
+	}
+	if len(g.Funcs) == 0 {
+		return
+	}
+	for _, blk := range g.sortedBlocks {
+		idx := sort.Search(len(g.Funcs), func(i int) bool { return g.Funcs[i].Entry > blk.Addr })
+		if idx == 0 {
+			continue // block before the first known function entry
+		}
+		f := g.Funcs[idx-1]
+		f.Blocks = append(f.Blocks, blk)
+	}
+}
+
+// scanDataPointers finds 8-byte-aligned little-endian values in the
+// data region that land inside the code region.
+func scanDataPointers(bin *elff.Binary) []uint64 {
+	var out []uint64
+	start := bin.CodeSize
+	// Align to the next 8-byte boundary relative to the base address.
+	for (bin.Base+start)%8 != 0 {
+		start++
+	}
+	for off := start; off+8 <= uint64(len(bin.Blob)); off += 8 {
+		v := uint64(bin.Blob[off]) | uint64(bin.Blob[off+1])<<8 |
+			uint64(bin.Blob[off+2])<<16 | uint64(bin.Blob[off+3])<<24 |
+			uint64(bin.Blob[off+4])<<32 | uint64(bin.Blob[off+5])<<40 |
+			uint64(bin.Blob[off+6])<<48 | uint64(bin.Blob[off+7])<<56
+		if bin.CodeContains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortedAddrs(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedAddrs64(m map[uint64]string) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

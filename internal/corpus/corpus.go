@@ -1,0 +1,122 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"bside/internal/elff"
+	"bside/internal/emu"
+)
+
+// Build is one synthesized binary plus its dynamic ground truth.
+type Build struct {
+	Profile Profile
+	Bin     *elff.Binary
+	// Truth is the emulator-observed syscall set (the strace
+	// equivalent), sorted.
+	Truth []uint64
+}
+
+// IsStatic reports whether the binary counts as "static" in Table 2's
+// grouping (plain ET_EXEC executables and the static-PIE oddballs).
+func (b *Build) IsStatic() bool {
+	return b.Profile.Kind == elff.KindStatic || b.Profile.StaticPIE
+}
+
+// Set is a generated corpus.
+type Set struct {
+	Apps   []*Build
+	Debian []*Build
+	// Libs maps DT_NEEDED names to the shared libraries.
+	Libs map[string]*elff.Binary
+}
+
+// LoadLib is a shared.Analyzer-compatible library loader.
+func (s *Set) LoadLib(name string) (*elff.Binary, error) {
+	if lib, ok := s.Libs[name]; ok {
+		return lib, nil
+	}
+	return nil, fmt.Errorf("corpus: unknown library %q", name)
+}
+
+// GenerateApps builds the six application stand-ins plus libraries.
+func GenerateApps() (*Set, error) {
+	set := &Set{Libs: make(map[string]*elff.Binary)}
+	if err := set.buildLibs(); err != nil {
+		return nil, err
+	}
+	for _, p := range AppProfiles() {
+		b, err := set.buildOne(p)
+		if err != nil {
+			return nil, err
+		}
+		set.Apps = append(set.Apps, b)
+	}
+	return set, nil
+}
+
+// GenerateDebian builds the full 557-binary set plus libraries.
+func GenerateDebian(seed int64) (*Set, error) {
+	set := &Set{Libs: make(map[string]*elff.Binary)}
+	if err := set.buildLibs(); err != nil {
+		return nil, err
+	}
+	for _, p := range DebianProfiles(seed) {
+		b, err := set.buildOne(p)
+		if err != nil {
+			return nil, err
+		}
+		set.Debian = append(set.Debian, b)
+	}
+	return set, nil
+}
+
+func (s *Set) buildLibs() error {
+	libc, err := BuildLibc()
+	if err != nil {
+		return err
+	}
+	s.Libs["libc.so.6"] = libc
+	for i := 0; i < numExtLibs; i++ {
+		lib, err := BuildExtLib(i)
+		if err != nil {
+			return err
+		}
+		s.Libs[extLibName(i)] = lib
+	}
+	return nil
+}
+
+func (s *Set) buildOne(p Profile) (*Build, error) {
+	bin, err := BuildProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := s.groundTruth(bin, p)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: ground truth: %w", p.Name, err)
+	}
+	return &Build{Profile: p, Bin: bin, Truth: truth}, nil
+}
+
+// groundTruth executes the binary under the emulator and returns the
+// observed syscall set.
+func (s *Set) groundTruth(bin *elff.Binary, p Profile) ([]uint64, error) {
+	m, err := emu.NewProcess(bin, s.Libs)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(3_000_000); err != nil {
+		return nil, err
+	}
+	if !m.Exited {
+		return nil, fmt.Errorf("did not exit")
+	}
+	set := m.SyscallSet()
+	out := make([]uint64, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

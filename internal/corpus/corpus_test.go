@@ -1,0 +1,239 @@
+package corpus
+
+import (
+	"testing"
+
+	"bside/internal/cfg"
+	"bside/internal/elff"
+	"bside/internal/ident"
+	"bside/internal/shared"
+)
+
+func TestBuildLibc(t *testing.T) {
+	libc, err := BuildLibc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if libc.Kind != elff.KindShared {
+		t.Fatalf("kind %v", libc.Kind)
+	}
+	if _, ok := libc.ExportAddr("write"); !ok {
+		t.Fatal("missing write export")
+	}
+	if _, ok := libc.ExportAddr("syscall"); !ok {
+		t.Fatal("missing syscall wrapper export")
+	}
+	// The interface analysis must classify syscall() as a wrapper and
+	// write() as a direct site.
+	ifc, err := shared.AnalyzeLibrary(libc, "libc.so.6", ident.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := ifc.ExportNamed("syscall")
+	if !ok || w.Wrapper == nil || w.Wrapper.Reg != "rdi" {
+		t.Fatalf("syscall export: %+v", w)
+	}
+	wr, ok := ifc.ExportNamed("write")
+	if !ok || len(wr.Syscalls) != 1 || wr.Syscalls[0] != 1 {
+		t.Fatalf("write export: %+v", wr)
+	}
+	sy, ok := ifc.ExportNamed("sched_yield")
+	if !ok || len(sy.Syscalls) != 1 || sy.Syscalls[0] != 24 {
+		t.Fatalf("sched_yield export (wrapper call site in lib): %+v", sy)
+	}
+}
+
+func TestBuildExtLibsDeterministic(t *testing.T) {
+	a, err := BuildExtLib(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildExtLib(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Exports) != len(b.Exports) || len(a.Blob) != len(b.Blob) {
+		t.Fatal("ext lib generation must be deterministic")
+	}
+	names := ExtLibExports(3)
+	if len(names) != len(a.Exports) {
+		t.Fatalf("ExtLibExports mismatch: %v vs %d exports", names, len(a.Exports))
+	}
+}
+
+func TestAppGeneration(t *testing.T) {
+	set, err := GenerateApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Apps) != 6 {
+		t.Fatalf("apps: %d", len(set.Apps))
+	}
+	for _, app := range set.Apps {
+		if len(app.Truth) < 30 {
+			t.Errorf("%s: ground truth too small: %d", app.Profile.Name, len(app.Truth))
+		}
+		if len(app.Truth) > 110 {
+			t.Errorf("%s: ground truth too large: %d", app.Profile.Name, len(app.Truth))
+		}
+		// exit must always be in the truth.
+		found := false
+		for _, n := range app.Truth {
+			if n == 60 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: missing exit in truth", app.Profile.Name)
+		}
+	}
+}
+
+func TestAppNoFalseNegatives(t *testing.T) {
+	// The core validity claim (§5.1): B-Side's identified set is a
+	// superset of the emulator ground truth for every app.
+	set, err := GenerateApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range set.Apps {
+		an := shared.NewAnalyzer(set.LoadLib, ident.Config{})
+		rep, err := an.Program(app.Bin)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Profile.Name, err)
+		}
+		if rep.FailOpen {
+			t.Fatalf("%s: fail-open", app.Profile.Name)
+		}
+		have := make(map[uint64]bool, len(rep.Syscalls))
+		for _, n := range rep.Syscalls {
+			have[n] = true
+		}
+		for _, n := range app.Truth {
+			if !have[n] {
+				t.Errorf("%s: FALSE NEGATIVE: %d in truth but not identified", app.Profile.Name, n)
+			}
+		}
+		// Precision sanity: the identified set must not explode.
+		if len(rep.Syscalls) > 3*len(app.Truth) {
+			t.Errorf("%s: identified %d vs truth %d (too imprecise)",
+				app.Profile.Name, len(rep.Syscalls), len(app.Truth))
+		}
+	}
+}
+
+func TestFailureClassesTrip(t *testing.T) {
+	// A FailCFG profile must exhaust a 40k-instruction CFG budget.
+	p := Profile{
+		Name: "giant", Kind: elff.KindStatic, HotDirect: 5,
+		Class: FailCFG, Filler: 10, Seed: 99,
+	}
+	bin, err := BuildProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cfg.Recover(bin, cfg.Options{MaxInsns: 40_000})
+	if err != cfg.ErrBudget {
+		t.Fatalf("want CFG budget error, got %v", err)
+	}
+	// The same binary still runs fine under the emulator (decoys are
+	// never executed).
+	set := &Set{Libs: map[string]*elff.Binary{}}
+	if _, err := set.groundTruth(bin, p); err != nil {
+		t.Fatalf("emulation: %v", err)
+	}
+	// And a generous budget analyzes it fully.
+	if _, err := cfg.Recover(bin, cfg.Options{MaxInsns: 4_000_000}); err != nil {
+		t.Fatalf("generous budget: %v", err)
+	}
+}
+
+func TestStaticProfileSelfContained(t *testing.T) {
+	profiles := DebianProfiles(42)
+	var static *Profile
+	for i := range profiles {
+		if profiles[i].Kind == elff.KindStatic && profiles[i].Class == FailNone {
+			static = &profiles[i]
+			break
+		}
+	}
+	if static == nil {
+		t.Fatal("no static profile found")
+	}
+	bin, err := BuildProgram(*static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.Kind != elff.KindStatic || len(bin.Needed) != 0 || len(bin.Imports) != 0 {
+		t.Fatalf("static binary shape: kind=%v needed=%v imports=%v",
+			bin.Kind, bin.Needed, bin.Imports)
+	}
+	set := &Set{Libs: map[string]*elff.Binary{}}
+	truth, err := set.groundTruth(bin, *static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) < 5 {
+		t.Fatalf("truth too small: %v", truth)
+	}
+}
+
+func TestDebianProfileCounts(t *testing.T) {
+	profiles := DebianProfiles(42)
+	if len(profiles) != 557 {
+		t.Fatalf("profiles: %d, want 557", len(profiles))
+	}
+	var static, dynamic, pie, unwind int
+	classes := map[FailureClass]int{}
+	for _, p := range profiles {
+		if p.Kind == elff.KindStatic || p.StaticPIE {
+			static++
+		} else {
+			dynamic++
+			if p.HasUnwind {
+				unwind++
+			}
+		}
+		if p.StaticPIE {
+			pie++
+		}
+		classes[p.Class]++
+	}
+	if static != 231 || dynamic != 326 {
+		t.Fatalf("static=%d dynamic=%d", static, dynamic)
+	}
+	if pie != 4 {
+		t.Fatalf("static-PIE: %d", pie)
+	}
+	if unwind != 108 {
+		t.Fatalf("dynamic with unwind: %d, want 108", unwind)
+	}
+	want := map[FailureClass]int{
+		FailNone: 223 + 4 + 214, FailCFG: 62 + 4, FailCFGHuge: 20,
+		FailIdent: 17, FailWrapper: 13,
+	}
+	for k, v := range want {
+		if classes[k] != v {
+			t.Errorf("class %d: %d want %d", k, classes[k], v)
+		}
+	}
+}
+
+func TestStaticPIEIsSimple(t *testing.T) {
+	profiles := DebianProfiles(42)
+	for _, p := range profiles {
+		if !p.StaticPIE {
+			continue
+		}
+		bin, err := BuildProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bin.Kind != elff.KindDynamic {
+			t.Fatalf("static-PIE must read back as dynamic (ET_DYN+entry), got %v", bin.Kind)
+		}
+		if len(bin.Needed) != 0 {
+			t.Fatalf("static-PIE must have no dependencies: %v", bin.Needed)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bside/internal/asm"
+	"bside/internal/elff"
+	"bside/internal/linux"
+	"bside/internal/x86"
+)
+
+// Library load addresses: the synthetic loader performs no relocation,
+// so every module gets a disjoint link-time base.
+const (
+	libcBase    = 0x7F00_0000_0000
+	extLibBase  = 0x7F01_0000_0000
+	extLibSlide = 0x0000_0010_0000
+	mainBase    = 0x40_0000
+)
+
+// libcExportNames are the functions the synthetic libc.so.6 exposes,
+// each implemented as a direct syscall matching its name.
+var libcExportNames = []string{
+	"read", "write", "open", "close", "stat", "fstat", "poll", "lseek",
+	"mmap", "mprotect", "munmap", "brk", "ioctl", "access", "select",
+	"dup", "dup2", "nanosleep", "getpid", "socket", "connect", "accept",
+	"sendto", "recvfrom", "sendmsg", "recvmsg", "shutdown", "bind",
+	"listen", "setsockopt", "getsockopt", "fcntl", "fsync", "getdents",
+	"getcwd", "chdir", "rename", "mkdir", "unlink", "chmod", "getuid",
+	"getgid", "geteuid", "futex", "epoll_wait", "epoll_ctl", "openat",
+	"accept4", "epoll_create1", "pipe2", "getrandom",
+}
+
+// secondarySyscalls gives some exports a second site, as real libc
+// functions often combine syscalls (open + fstat, etc.).
+var secondarySyscalls = map[string]uint64{
+	"open":   linux.SysFstat,
+	"openat": linux.SysFstat,
+	"socket": linux.SysSetsockopt,
+	"accept": linux.SysAccept4,
+	"mmap":   linux.SysMprotect,
+}
+
+// deadLibcSyscalls pad the library's whole-image distinct syscall count
+// (SysFilter and Chestnut scan dead library code too; B-Side's
+// per-export interface does not).
+var deadLibcSyscalls = []uint64{
+	15, 26, 27, 34, 36, 37, 38, 58, 62, 64, 65, 68, 71, 76, 84, 85, 86,
+	88, 92, 93, 95, 103, 105, 106, 109, 126, 127, 128, 129, 135, 137,
+	138, 143, 148, 159, 166, 170, 171,
+}
+
+// BuildLibc synthesizes libc.so.6: named exports with matching direct
+// syscalls, the glibc-style syscall() register wrapper, a couple of
+// wrapper users, and dead internal code.
+func BuildLibc() (*elff.Binary, error) {
+	b := asm.New()
+	var exports []string
+
+	for _, name := range libcExportNames {
+		nr, ok := linux.Number(name)
+		if !ok {
+			return nil, fmt.Errorf("corpus: libc export %q has no syscall", name)
+		}
+		b.Func("libc_" + name)
+		b.Endbr64()
+		b.MovRegImm32(x86.RAX, uint32(nr))
+		b.Syscall()
+		if extra, ok := secondarySyscalls[name]; ok {
+			b.MovRegImm32(x86.RAX, uint32(extra))
+			b.Syscall()
+		}
+		b.XorRegReg32(x86.RAX, x86.RAX)
+		b.Ret()
+		exports = append(exports, name)
+	}
+
+	// The glibc-style variadic wrapper.
+	b.Func("libc_syscall")
+	b.Endbr64()
+	b.MovRegReg(x86.RAX, x86.RDI)
+	b.Syscall()
+	b.Ret()
+	exports = append(exports, "syscall")
+
+	// Exports that use the wrapper internally with constants (resolved
+	// during library analysis as local wrapper call sites).
+	b.Func("libc_sched_yield")
+	b.Endbr64()
+	b.MovRegImm32(x86.RDI, uint32(linux.SysSchedYield))
+	b.CallLabel("libc_syscall")
+	b.Ret()
+	exports = append(exports, "sched_yield")
+
+	b.Func("libc_gettid")
+	b.Endbr64()
+	b.MovRegImm32(x86.RDI, 186)
+	b.CallLabel("libc_syscall")
+	b.Ret()
+	exports = append(exports, "gettid")
+
+	// Dead internal helpers: whole-image scanners count these.
+	for i, nr := range deadLibcSyscalls {
+		b.Func(fmt.Sprintf("libc_internal_%d", i))
+		b.MovRegImm32(x86.RAX, uint32(nr))
+		b.Syscall()
+		b.Ret()
+	}
+
+	b.Label("__code_end")
+	img, syms, err := b.Finalize(libcBase)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: libc: %w", err)
+	}
+	spec := elff.Spec{
+		Kind:      elff.KindShared,
+		Base:      libcBase,
+		Blob:      img,
+		CodeSize:  syms["__code_end"] - libcBase,
+		HasUnwind: true,
+		Symbols:   funcSyms(b, syms),
+	}
+	for _, name := range exports {
+		spec.Exports = append(spec.Exports, elff.Export{Name: name, Addr: syms["libc_"+name]})
+	}
+	return writeRead(spec)
+}
+
+// numExtLibs is how many auxiliary shared libraries the Debian corpus
+// carries (59 shared-library dependencies total, with libc.so.6).
+const numExtLibs = 58
+
+func extLibName(i int) string { return fmt.Sprintf("libx%02d.so", i) }
+
+// BuildExtLib synthesizes one of the 58 auxiliary shared libraries:
+// a handful of exports with one direct syscall each.
+func BuildExtLib(i int) (*elff.Binary, error) {
+	rng := rand.New(rand.NewSource(int64(7700 + i)))
+	b := asm.New()
+	base := uint64(extLibBase + uint64(i+1)*extLibSlide)
+	nExports := 4 + rng.Intn(4)
+	var exports []string
+	for e := 0; e < nExports; e++ {
+		name := fmt.Sprintf("x%02d_fn%d", i, e)
+		nr := coldPool[rng.Intn(len(coldPool))]
+		b.Func("ext_" + name)
+		b.MovRegImm32(x86.RAX, uint32(nr))
+		b.Syscall()
+		b.XorRegReg32(x86.RAX, x86.RAX)
+		b.Ret()
+		exports = append(exports, name)
+	}
+	b.Label("__code_end")
+	img, syms, err := b.Finalize(base)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", extLibName(i), err)
+	}
+	spec := elff.Spec{
+		Kind:     elff.KindShared,
+		Base:     base,
+		Blob:     img,
+		CodeSize: syms["__code_end"] - base,
+		Symbols:  funcSyms(b, syms),
+	}
+	for _, name := range exports {
+		spec.Exports = append(spec.Exports, elff.Export{Name: name, Addr: syms["ext_"+name]})
+	}
+	return writeRead(spec)
+}
+
+// ExtLibExports lists the export names of extra library i (regenerated
+// deterministically; used by the program builder without re-parsing).
+func ExtLibExports(i int) []string {
+	rng := rand.New(rand.NewSource(int64(7700 + i)))
+	nExports := 4 + rng.Intn(4)
+	out := make([]string, 0, nExports)
+	for e := 0; e < nExports; e++ {
+		out = append(out, fmt.Sprintf("x%02d_fn%d", i, e))
+	}
+	return out
+}
+
+func funcSyms(b *asm.Builder, syms map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, name := range b.FuncNames() {
+		out[name] = syms[name]
+	}
+	return out
+}
+
+func writeRead(spec elff.Spec) (*elff.Binary, error) {
+	data, err := elff.Write(spec)
+	if err != nil {
+		return nil, err
+	}
+	return elff.Read(data)
+}

@@ -1,0 +1,184 @@
+package elff
+
+import (
+	"bytes"
+	"debug/elf"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bside/internal/asm"
+	"bside/internal/x86"
+)
+
+// buildSample assembles a tiny program with an import stub, finalizes it
+// and wraps it in a Spec.
+func buildSample(t *testing.T, kind Kind, base uint64) (Spec, map[string]uint64) {
+	t.Helper()
+	b := asm.New()
+	b.Label("_start")
+	b.MovRegImm32(x86.RAX, 60)
+	b.Syscall()
+	b.CallLabel("stub_write")
+	b.Ret()
+	b.Label("helper")
+	b.MovRegImm32(x86.RAX, 1)
+	b.Syscall()
+	b.Ret()
+	b.Label("stub_write")
+	b.JmpMemRIP("got_write")
+	b.Align(8)
+	b.Label("got_write")
+	b.Quad(0)
+	img, syms, err := b.Finalize(base)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	spec := Spec{
+		Kind:  kind,
+		Base:  base,
+		Entry: syms["_start"],
+		Blob:  img,
+		Exports: []Export{
+			{Name: "helper", Addr: syms["helper"]},
+		},
+		Imports: []Import{
+			{Name: "write", SlotAddr: syms["got_write"]},
+		},
+		Needed:    []string{"libc.so.6"},
+		Symbols:   syms,
+		HasUnwind: true,
+	}
+	if kind == KindShared {
+		spec.Entry = 0
+	}
+	return spec, syms
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{KindStatic, KindDynamic, KindShared} {
+		t.Run(kind.String(), func(t *testing.T) {
+			base := uint64(0x400000)
+			spec, syms := buildSample(t, kind, base)
+			data, err := Write(spec)
+			if err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			bin, err := Read(data)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if bin.Kind != kind {
+				t.Errorf("kind %v want %v", bin.Kind, kind)
+			}
+			if bin.Base != base || !bytes.Equal(bin.Blob, spec.Blob) {
+				t.Errorf("blob mismatch: base %#x len %d", bin.Base, len(bin.Blob))
+			}
+			if kind != KindShared && bin.Entry != syms["_start"] {
+				t.Errorf("entry %#x want %#x", bin.Entry, syms["_start"])
+			}
+			if a, ok := bin.ExportAddr("helper"); !ok || a != syms["helper"] {
+				t.Errorf("export helper %#x ok=%v", a, ok)
+			}
+			if len(bin.Imports) != 1 || bin.Imports[0].Name != "write" ||
+				bin.Imports[0].SlotAddr != syms["got_write"] {
+				t.Errorf("imports: %+v", bin.Imports)
+			}
+			if name, ok := bin.ImportAtSlot(syms["got_write"]); !ok || name != "write" {
+				t.Errorf("ImportAtSlot: %q ok=%v", name, ok)
+			}
+			if len(bin.Needed) != 1 || bin.Needed[0] != "libc.so.6" {
+				t.Errorf("needed: %v", bin.Needed)
+			}
+			if !bin.HasUnwind {
+				t.Error("unwind marker lost")
+			}
+			if bin.Symbols["helper"] != syms["helper"] {
+				t.Errorf("symtab: %v", bin.Symbols)
+			}
+		})
+	}
+}
+
+// TestParsesWithDebugELF double-checks the writer output against the
+// standard library's notion of a valid ELF.
+func TestParsesWithDebugELF(t *testing.T) {
+	spec, _ := buildSample(t, KindDynamic, 0x400000)
+	data, err := Write(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elf.NewFile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("debug/elf rejects image: %v", err)
+	}
+	defer f.Close()
+	if f.Type != elf.ET_DYN || f.Machine != elf.EM_X86_64 {
+		t.Fatalf("header: %v %v", f.Type, f.Machine)
+	}
+	libs, err := f.ImportedLibraries()
+	if err != nil || len(libs) != 1 || libs[0] != "libc.so.6" {
+		t.Fatalf("ImportedLibraries: %v %v", libs, err)
+	}
+	imps, err := f.ImportedSymbols()
+	if err != nil || len(imps) != 1 || imps[0].Name != "write" {
+		t.Fatalf("ImportedSymbols: %v %v", imps, err)
+	}
+}
+
+func TestReadFileAndHelpers(t *testing.T) {
+	spec, syms := buildSample(t, KindStatic, 0x400000)
+	data, err := Write(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sample")
+	if err := os.WriteFile(path, data, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.Path != path {
+		t.Errorf("path %q", bin.Path)
+	}
+	if !bin.Contains(syms["_start"]) || bin.Contains(bin.CodeEnd()) {
+		t.Error("Contains bounds")
+	}
+	if _, ok := bin.BytesAt(bin.CodeEnd()); ok {
+		t.Error("BytesAt out of range must fail")
+	}
+	if v, ok := bin.U64At(syms["got_write"]); !ok || v != 0 {
+		t.Errorf("U64At got slot: %#x ok=%v", v, ok)
+	}
+	if _, ok := bin.ExportAddr("nonexistent"); ok {
+		t.Error("bogus export resolved")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	if _, err := Write(Spec{Kind: KindStatic}); err == nil {
+		t.Error("empty blob must fail")
+	}
+	if _, err := Write(Spec{Blob: []byte{0x90}}); err == nil {
+		t.Error("missing kind must fail")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read([]byte("not an elf at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	spec, _ := buildSample(t, KindStatic, 0x400000)
+	data, _ := Write(spec)
+	// Truncations must error, never panic.
+	for _, n := range []int{1, 10, 63, 100, len(data) / 2} {
+		if n >= len(data) {
+			continue
+		}
+		if _, err := Read(data[:n]); err == nil {
+			t.Errorf("truncated to %d accepted", n)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package elff
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyWriteReadRoundTrip fuzzes image specs: arbitrary blob
+// contents, export/import/needed combinations must survive the ELF
+// round trip bit-exactly.
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	f := func(seed int64, blobLen uint16, nExports, nImports, nNeeded uint8, unwind bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(blobLen%4096) + 16
+		blob := make([]byte, n)
+		rng.Read(blob)
+
+		const base = 0x400000
+		spec := Spec{
+			Kind:      KindDynamic,
+			Base:      base,
+			Entry:     base + uint64(rng.Intn(n)),
+			Blob:      blob,
+			CodeSize:  uint64(rng.Intn(n) + 1),
+			HasUnwind: unwind,
+		}
+		for i := 0; i < int(nExports%6); i++ {
+			spec.Exports = append(spec.Exports, Export{
+				Name: fmt.Sprintf("exp%d", i),
+				Addr: base + uint64(rng.Intn(n)),
+			})
+		}
+		for i := 0; i < int(nImports%6); i++ {
+			spec.Imports = append(spec.Imports, Import{
+				Name:     fmt.Sprintf("imp%d", i),
+				SlotAddr: base + uint64(rng.Intn(n)),
+			})
+		}
+		for i := 0; i < int(nNeeded%4); i++ {
+			spec.Needed = append(spec.Needed, fmt.Sprintf("lib%d.so", i))
+		}
+
+		data, err := Write(spec)
+		if err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		bin, err := Read(data)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		if bin.Base != spec.Base || bin.Entry != spec.Entry ||
+			bin.CodeSize != spec.CodeSize || bin.HasUnwind != spec.HasUnwind {
+			return false
+		}
+		if len(bin.Blob) != len(blob) {
+			return false
+		}
+		for i := range blob {
+			if bin.Blob[i] != blob[i] {
+				return false
+			}
+		}
+		if len(bin.Exports) != len(spec.Exports) || len(bin.Imports) != len(spec.Imports) {
+			return false
+		}
+		for i, e := range spec.Exports {
+			if bin.Exports[i] != e {
+				return false
+			}
+		}
+		for i, im := range spec.Imports {
+			if bin.Imports[i] != im {
+				return false
+			}
+		}
+		if len(bin.Needed) != len(spec.Needed) {
+			return false
+		}
+		for i, nd := range spec.Needed {
+			if bin.Needed[i] != nd {
+				return false
+			}
+		}
+		return true
+	}
+	conf := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, conf); err != nil {
+		t.Fatal(err)
+	}
+}

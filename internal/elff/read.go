@@ -1,0 +1,211 @@
+package elff
+
+import (
+	"bytes"
+	"debug/elf"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Binary is a parsed ELF image ready for analysis or emulation.
+type Binary struct {
+	Path      string
+	Kind      Kind
+	Entry     uint64
+	Base      uint64 // virtual address of Blob[0]
+	Blob      []byte // the single loadable region
+	CodeSize  uint64 // leading bytes of Blob that are code (.text)
+	Exports   []Export
+	Imports   []Import
+	Needed    []string
+	Symbols   map[string]uint64
+	HasUnwind bool
+}
+
+// CodeContains reports whether addr is inside the code (.text) part of
+// the loadable region — the part a disassembler should treat as
+// instructions.
+func (b *Binary) CodeContains(addr uint64) bool {
+	return addr >= b.Base && addr < b.Base+b.CodeSize
+}
+
+// CodeEnd returns the first virtual address past the loadable region.
+func (b *Binary) CodeEnd() uint64 { return b.Base + uint64(len(b.Blob)) }
+
+// Contains reports whether addr falls inside the loadable region.
+func (b *Binary) Contains(addr uint64) bool {
+	return addr >= b.Base && addr < b.CodeEnd()
+}
+
+// BytesAt returns the blob starting at virtual address addr.
+func (b *Binary) BytesAt(addr uint64) ([]byte, bool) {
+	if !b.Contains(addr) {
+		return nil, false
+	}
+	return b.Blob[addr-b.Base:], true
+}
+
+// U64At reads a little-endian uint64 at virtual address addr.
+func (b *Binary) U64At(addr uint64) (uint64, bool) {
+	s, ok := b.BytesAt(addr)
+	if !ok || len(s) < 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(s), true
+}
+
+// ExportAddr looks up an exported symbol.
+func (b *Binary) ExportAddr(name string) (uint64, bool) {
+	for _, e := range b.Exports {
+		if e.Name == name {
+			return e.Addr, true
+		}
+	}
+	return 0, false
+}
+
+// ImportAtSlot maps a GOT slot virtual address back to the imported
+// symbol name, mirroring how PLT-stub resolution works on real binaries.
+func (b *Binary) ImportAtSlot(slot uint64) (string, bool) {
+	for _, im := range b.Imports {
+		if im.SlotAddr == slot {
+			return im.Name, true
+		}
+	}
+	return "", false
+}
+
+// Spec reconstructs a writable Spec from the parsed binary, so images
+// can be re-serialized (corpus generation writes binaries to disk this
+// way).
+func (b *Binary) Spec() Spec {
+	return Spec{
+		Kind:      b.Kind,
+		Base:      b.Base,
+		Entry:     b.Entry,
+		Blob:      b.Blob,
+		CodeSize:  b.CodeSize,
+		Exports:   b.Exports,
+		Imports:   b.Imports,
+		Needed:    b.Needed,
+		Symbols:   b.Symbols,
+		HasUnwind: b.HasUnwind,
+	}
+}
+
+// WriteFile serializes the binary to an ELF file at path.
+func (b *Binary) WriteFile(path string) error {
+	data, err := Write(b.Spec())
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o755)
+}
+
+// ReadFile parses the ELF image at path.
+func ReadFile(path string) (*Binary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("elff: %w", err)
+	}
+	b, err := Read(data)
+	if err != nil {
+		return nil, fmt.Errorf("elff: %s: %w", path, err)
+	}
+	b.Path = path
+	return b, nil
+}
+
+// Read parses an ELF image from memory.
+func Read(data []byte) (*Binary, error) {
+	f, err := elf.NewFile(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	defer f.Close()
+
+	if f.Machine != elf.EM_X86_64 {
+		return nil, fmt.Errorf("unsupported machine %v", f.Machine)
+	}
+
+	out := &Binary{Entry: f.Entry, Symbols: make(map[string]uint64)}
+	switch {
+	case f.Type == elf.ET_EXEC:
+		out.Kind = KindStatic
+	case f.Type == elf.ET_DYN && f.Entry != 0:
+		out.Kind = KindDynamic
+	case f.Type == elf.ET_DYN:
+		out.Kind = KindShared
+	default:
+		return nil, fmt.Errorf("unsupported ELF type %v", f.Type)
+	}
+
+	for _, p := range f.Progs {
+		if p.Type != elf.PT_LOAD {
+			continue
+		}
+		blob := make([]byte, p.Memsz)
+		if _, err := p.ReadAt(blob[:p.Filesz], 0); err != nil {
+			return nil, fmt.Errorf("segment read: %w", err)
+		}
+		out.Base = p.Vaddr
+		out.Blob = blob
+		break // single-PT_LOAD images by construction
+	}
+	if out.Blob == nil {
+		return nil, fmt.Errorf("no PT_LOAD segment")
+	}
+	out.CodeSize = uint64(len(out.Blob))
+	if ts := f.Section(".text"); ts != nil && ts.Size > 0 && ts.Size <= out.CodeSize {
+		out.CodeSize = ts.Size
+	}
+
+	dynsyms, err := f.DynamicSymbols()
+	if err == nil {
+		for _, s := range dynsyms {
+			if s.Section == elf.SHN_UNDEF {
+				continue
+			}
+			out.Exports = append(out.Exports, Export{Name: s.Name, Addr: s.Value})
+		}
+	}
+
+	// JUMP_SLOT relocations pair import names with GOT slots.
+	if rp := f.Section(".rela.plt"); rp != nil && len(dynsyms) > 0 {
+		data, err := rp.Data()
+		if err != nil {
+			return nil, fmt.Errorf(".rela.plt: %w", err)
+		}
+		for off := 0; off+24 <= len(data); off += 24 {
+			slot := binary.LittleEndian.Uint64(data[off:])
+			info := binary.LittleEndian.Uint64(data[off+8:])
+			if info&0xFFFFFFFF != rX8664JumpSlot {
+				continue
+			}
+			symIdx := info >> 32
+			if symIdx == 0 || int(symIdx) > len(dynsyms) {
+				return nil, fmt.Errorf(".rela.plt: bad symbol index %d", symIdx)
+			}
+			out.Imports = append(out.Imports, Import{
+				Name:     dynsyms[symIdx-1].Name,
+				SlotAddr: slot,
+			})
+		}
+	}
+
+	if libs, err := f.ImportedLibraries(); err == nil {
+		out.Needed = libs
+	}
+
+	if syms, err := f.Symbols(); err == nil {
+		for _, s := range syms {
+			if s.Name != "" {
+				out.Symbols[s.Name] = s.Value
+			}
+		}
+	}
+
+	out.HasUnwind = f.Section(".bside.unwind") != nil
+	return out, nil
+}

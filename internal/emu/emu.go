@@ -1,0 +1,195 @@
+// Package emu is a concrete x86-64 user-mode emulator for the binaries
+// produced in this repository. It plays the role strace plays in the
+// paper's validation (§5.1): executing a program for real and recording
+// every system call it issues, which gives the evaluation a dynamic
+// ground truth with exactly known coverage.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"bside/internal/elff"
+	"bside/internal/x86"
+)
+
+// Emulation errors.
+var (
+	// ErrFault is an access to unmapped memory.
+	ErrFault = errors.New("emu: memory fault")
+	// ErrSteps means the step budget ran out before exit.
+	ErrSteps = errors.New("emu: step budget exhausted")
+	// ErrTrap is a ud2/int3/hlt or undecodable instruction.
+	ErrTrap = errors.New("emu: trap")
+)
+
+// haltAddr is the sentinel return address planted below _start; a ret
+// to it ends the program as if the process returned from main.
+const haltAddr = 0xFFFF_FFFF_FFFF_F000
+
+const (
+	stackTop  = 0x7FFF_FFF0_0000
+	stackSize = 1 << 20
+	pageBits  = 12
+	pageSize  = 1 << pageBits
+)
+
+// Machine is a loaded process image plus CPU state.
+type Machine struct {
+	pages map[uint64]*[pageSize]byte
+	regs  [x86.NumGPR]uint64
+	rip   uint64
+
+	zf, sf, cf, of bool
+
+	// Trace is the sequence of syscall numbers executed.
+	Trace []uint64
+	// Exited is set when the program exited via exit/exit_group or by
+	// returning from the entry function.
+	Exited bool
+	// ExitCode is %rdi at exit.
+	ExitCode uint64
+	// Steps counts executed instructions.
+	Steps int
+
+	modules []*elff.Binary
+}
+
+// NewProcess loads the main binary and its shared-library dependencies,
+// resolves import GOT slots against library exports, and prepares the
+// stack. libs maps DT_NEEDED names to parsed libraries; transitive
+// dependencies must be included.
+func NewProcess(main *elff.Binary, libs map[string]*elff.Binary) (*Machine, error) {
+	m := &Machine{pages: make(map[uint64]*[pageSize]byte)}
+	mods := []*elff.Binary{main}
+	seen := map[string]bool{}
+	var walk func(b *elff.Binary) error
+	walk = func(b *elff.Binary) error {
+		for _, need := range b.Needed {
+			if seen[need] {
+				continue
+			}
+			lib, ok := libs[need]
+			if !ok {
+				return fmt.Errorf("emu: missing library %q", need)
+			}
+			seen[need] = true
+			mods = append(mods, lib)
+			if err := walk(lib); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(main); err != nil {
+		return nil, err
+	}
+	m.modules = mods
+
+	for _, mod := range mods {
+		if err := m.mapRegion(mod.Base, mod.Blob); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve imports: first provider in load order wins, as with the
+	// dynamic linker's scope ordering.
+	for _, mod := range mods {
+		for _, im := range mod.Imports {
+			addr, ok := m.lookupExport(im.Name)
+			if !ok {
+				return nil, fmt.Errorf("emu: unresolved import %q", im.Name)
+			}
+			if err := m.write(im.SlotAddr, 8, addr); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := m.mapRegion(stackTop-stackSize, make([]byte, stackSize)); err != nil {
+		return nil, err
+	}
+	m.regs[x86.RSP] = stackTop - 64
+	if err := m.write(m.regs[x86.RSP], 8, haltAddr); err != nil {
+		return nil, err
+	}
+	m.rip = main.Entry
+	return m, nil
+}
+
+func (m *Machine) lookupExport(name string) (uint64, bool) {
+	for _, mod := range m.modules[1:] {
+		if addr, ok := mod.ExportAddr(name); ok {
+			return addr, true
+		}
+	}
+	// Allow the main module itself as a last resort (rare, but matches
+	// dynamic-linker symbol scope).
+	return m.modules[0].ExportAddr(name)
+}
+
+func (m *Machine) mapRegion(base uint64, data []byte) error {
+	for off := 0; off < len(data); {
+		pageAddr := (base + uint64(off)) &^ (pageSize - 1)
+		pg := m.pages[pageAddr]
+		if pg == nil {
+			pg = new([pageSize]byte)
+			m.pages[pageAddr] = pg
+		}
+		start := int((base + uint64(off)) & (pageSize - 1))
+		n := copy(pg[start:], data[off:])
+		off += n
+	}
+	return nil
+}
+
+func (m *Machine) read(addr uint64, size uint8) (uint64, error) {
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		a := addr + uint64(i)
+		pg := m.pages[a&^(pageSize-1)]
+		if pg == nil {
+			return 0, fmt.Errorf("%w: read %#x", ErrFault, a)
+		}
+		v |= uint64(pg[a&(pageSize-1)]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (m *Machine) write(addr uint64, size uint8, v uint64) error {
+	for i := uint8(0); i < size; i++ {
+		a := addr + uint64(i)
+		pg := m.pages[a&^(pageSize-1)]
+		if pg == nil {
+			return fmt.Errorf("%w: write %#x", ErrFault, a)
+		}
+		pg[a&(pageSize-1)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+func (m *Machine) fetch(addr uint64) ([]byte, error) {
+	// Instructions are at most 15 bytes; assemble a window across up to
+	// two pages.
+	buf := make([]byte, 0, 15)
+	for i := uint64(0); i < 15; i++ {
+		a := addr + i
+		pg := m.pages[a&^(pageSize-1)]
+		if pg == nil {
+			break
+		}
+		buf = append(buf, pg[a&(pageSize-1)])
+	}
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("%w: fetch %#x", ErrFault, addr)
+	}
+	return buf, nil
+}
+
+// SyscallSet returns the deduplicated set of syscall numbers executed.
+func (m *Machine) SyscallSet() map[uint64]bool {
+	set := make(map[uint64]bool, len(m.Trace))
+	for _, n := range m.Trace {
+		set[n] = true
+	}
+	return set
+}

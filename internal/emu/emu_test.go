@@ -1,0 +1,269 @@
+package emu
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"bside/internal/asm"
+	"bside/internal/elff"
+	"bside/internal/testbin"
+	"bside/internal/x86"
+)
+
+func run(t *testing.T, fn func(b *asm.Builder)) *Machine {
+	t.Helper()
+	bin, _ := testbin.Build(t, elff.KindStatic, fn, nil)
+	m, err := NewProcess(bin, nil)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v (trace %v)", err, m.Trace)
+	}
+	return m
+}
+
+func TestRunExit(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RDI, 7)
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+	})
+	if !m.Exited || m.ExitCode != 7 {
+		t.Fatalf("exit: %v code %d", m.Exited, m.ExitCode)
+	}
+	if !reflect.DeepEqual(m.Trace, []uint64{60}) {
+		t.Fatalf("trace: %v", m.Trace)
+	}
+}
+
+func TestReturnFromStartHalts(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 39)
+		b.Syscall()
+		b.Ret()
+	})
+	if !m.Exited {
+		t.Fatal("must halt on return from _start")
+	}
+	if !reflect.DeepEqual(m.Trace, []uint64{39}) {
+		t.Fatalf("trace: %v", m.Trace)
+	}
+}
+
+func TestLoopAndFlags(t *testing.T) {
+	// Sum 1..5 in rbx via a countdown loop; syscall number = sum = 15.
+	m := run(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RCX, 5)
+		b.XorRegReg(x86.RBX, x86.RBX)
+		b.Label("top")
+		b.AddRegReg(x86.RBX, x86.RCX)
+		b.DecReg(x86.RCX)
+		b.CmpRegImm(x86.RCX, 0)
+		b.Jcc(x86.CondNE, "top")
+		b.MovRegReg(x86.RAX, x86.RBX)
+		b.Syscall()
+		b.Ret()
+	})
+	if !reflect.DeepEqual(m.Trace, []uint64{15}) {
+		t.Fatalf("trace: %v", m.Trace)
+	}
+}
+
+func TestSignedConditions(t *testing.T) {
+	// -1 < 1 signed must take the jl branch (syscall 1), not 2.
+	m := run(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm64(x86.RDX, 0xFFFFFFFFFFFFFFFF) // -1
+		b.CmpRegImm(x86.RDX, 1)
+		b.Jcc(x86.CondL, "less")
+		b.MovRegImm32(x86.RAX, 2)
+		b.JmpLabel("go")
+		b.Label("less")
+		b.MovRegImm32(x86.RAX, 1)
+		b.Label("go")
+		b.Syscall()
+		b.Ret()
+	})
+	if !reflect.DeepEqual(m.Trace, []uint64{1}) {
+		t.Fatalf("trace: %v", m.Trace)
+	}
+}
+
+func TestCallRetAndStackArgs(t *testing.T) {
+	// Go-style stack-arg wrapper executed concretely.
+	m := run(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.SubRegImm(x86.RSP, 16)
+		b.MovMemImm32(x86.Mem{Base: x86.RSP, Index: x86.RegNone, Scale: 1}, 35)
+		b.CallLabel("wrapper")
+		b.AddRegImm(x86.RSP, 16)
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Func("wrapper")
+		b.MovRegMem(x86.RAX, x86.Mem{Base: x86.RSP, Index: x86.RegNone, Scale: 1, Disp: 8})
+		b.Syscall()
+		b.Ret()
+	})
+	if !reflect.DeepEqual(m.Trace, []uint64{35, 60}) {
+		t.Fatalf("trace: %v", m.Trace)
+	}
+}
+
+func TestIndirectCallThroughTable(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegMemRIP(x86.RDX, "table")
+		b.CallReg(x86.RDX)
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Func("handler")
+		b.MovRegImm32(x86.RAX, 39)
+		b.Syscall()
+		b.Ret()
+		b.Label("__code_end")
+		b.Align(8)
+		b.Label("table")
+		b.QuadLabel("handler")
+	})
+	if !reflect.DeepEqual(m.Trace, []uint64{39, 60}) {
+		t.Fatalf("trace: %v", m.Trace)
+	}
+}
+
+func TestImportResolutionAcrossModules(t *testing.T) {
+	// A libc-like library exporting write(); the main binary calls it
+	// through a PLT-style stub.
+	lib, libSyms := testbin.BuildAt(t, elff.KindShared, 0x7F0000000000, func(b *asm.Builder) {
+		b.Func("write")
+		b.MovRegImm32(x86.RAX, 1)
+		b.Syscall()
+		b.Ret()
+	}, func(spec *elff.Spec, syms map[string]uint64) {
+		spec.Exports = []elff.Export{{Name: "write", Addr: syms["write"]}}
+	})
+	_ = libSyms
+
+	main, _ := testbin.Build(t, elff.KindDynamic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.CallLabel("stub_write")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Func("stub_write")
+		b.JmpMemRIP("got_write")
+		b.Label("__code_end")
+		b.Align(8)
+		b.Label("got_write")
+		b.Quad(0)
+	}, func(spec *elff.Spec, syms map[string]uint64) {
+		spec.Imports = []elff.Import{{Name: "write", SlotAddr: syms["got_write"]}}
+		spec.Needed = []string{"libc.so"}
+	})
+
+	m, err := NewProcess(main, map[string]*elff.Binary{"libc.so": lib})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := m.Run(100_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !reflect.DeepEqual(m.Trace, []uint64{1, 60}) {
+		t.Fatalf("trace: %v", m.Trace)
+	}
+	if got := m.SyscallSet(); !got[1] || !got[60] || len(got) != 2 {
+		t.Fatalf("set: %v", got)
+	}
+}
+
+func TestLibBaseIsHonored(t *testing.T) {
+	lib, syms := testbin.BuildAt(t, elff.KindShared, 0x7F0100000000, func(b *asm.Builder) {
+		b.Func("f")
+		b.MovRegImm32(x86.RAX, 2)
+		b.Syscall()
+		b.Ret()
+	}, func(spec *elff.Spec, syms map[string]uint64) {
+		spec.Exports = []elff.Export{{Name: "f", Addr: syms["f"]}}
+	})
+	if lib.Base != 0x7F0100000000 {
+		t.Fatalf("base %#x", lib.Base)
+	}
+	if a, ok := lib.ExportAddr("f"); !ok || a != syms["f"] || a < lib.Base {
+		t.Fatalf("export addr %#x", a)
+	}
+}
+
+func TestFaultOnWildAccess(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm64(x86.RBX, 0x12345)
+		b.MovRegMem(x86.RAX, x86.Mem{Base: x86.RBX, Index: x86.RegNone, Scale: 1})
+		b.Ret()
+	}, nil)
+	m, err := NewProcess(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1000); !errors.Is(err, ErrFault) {
+		t.Fatalf("want fault, got %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.Label("spin")
+		b.JmpLabel("spin")
+	}, nil)
+	m, err := NewProcess(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100); !errors.Is(err, ErrSteps) {
+		t.Fatalf("want step budget error, got %v", err)
+	}
+}
+
+func TestTrapOnUd2(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.Ud2()
+	}, nil)
+	m, err := NewProcess(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); !errors.Is(err, ErrTrap) {
+		t.Fatalf("want trap, got %v", err)
+	}
+}
+
+func TestMissingLibraryError(t *testing.T) {
+	main, _ := testbin.Build(t, elff.KindDynamic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.Ret()
+	}, func(spec *elff.Spec, syms map[string]uint64) {
+		spec.Needed = []string{"libmissing.so"}
+	})
+	if _, err := NewProcess(main, nil); err == nil {
+		t.Fatal("missing library must fail to load")
+	}
+}
+
+func TestSyscallClobbersRCXandR11(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RCX, 0x1234)
+		b.MovRegImm32(x86.RAX, 39)
+		b.Syscall()
+		b.MovRegReg(x86.RDI, x86.RCX) // rcx now holds the return RIP
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+	})
+	if m.ExitCode == 0x1234 {
+		t.Fatal("rcx must be clobbered by syscall")
+	}
+}

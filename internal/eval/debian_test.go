@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"bside/internal/corpus"
+)
+
+var (
+	debOnce sync.Once
+	debSet  *corpus.Set
+	debEval *DebianEval
+	debErr  error
+)
+
+// DebianSeed pins the corpus used by tests and benches.
+const DebianSeed = 42
+
+func evaluatedDebian(t *testing.T) *DebianEval {
+	t.Helper()
+	debOnce.Do(func() {
+		debSet, debErr = corpus.GenerateDebian(DebianSeed)
+		if debErr != nil {
+			return
+		}
+		debEval, debErr = EvalDebian(debSet)
+	})
+	if debErr != nil {
+		t.Fatalf("debian: %v", debErr)
+	}
+	return debEval
+}
+
+func TestDebianTable2Marginals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 557-binary corpus in -short mode")
+	}
+	d := evaluatedDebian(t)
+	if len(d.Rows) != 557 {
+		t.Fatalf("rows: %d", len(d.Rows))
+	}
+
+	count := func(pick func(DebianRow) ToolRun, filter func(DebianRow) bool) (succ, fail int) {
+		st := collect(d.Rows, pick, filter)
+		return st.success, st.failure
+	}
+	static := func(r DebianRow) bool { return r.Static }
+	dynamic := func(r DebianRow) bool { return !r.Static }
+	bside := func(r DebianRow) ToolRun { return r.BSide }
+	chestnut := func(r DebianRow) ToolRun { return r.Chestnut }
+	sysfilter := func(r DebianRow) ToolRun { return r.SysFilter }
+
+	// Paper Table 2 marginals (exact by corpus construction).
+	if s, f := count(bside, static); s != 227 || f != 4 {
+		t.Errorf("B-Side static: %d/%d want 227/4", s, f)
+	}
+	if s, f := count(bside, dynamic); s != 214 || f != 112 {
+		t.Errorf("B-Side dynamic: %d/%d want 214/112", s, f)
+	}
+	if s, f := count(chestnut, static); s != 4 || f != 227 {
+		t.Errorf("Chestnut static: %d/%d want 4/227", s, f)
+	}
+	if s, f := count(chestnut, dynamic); s != 306 || f != 20 {
+		t.Errorf("Chestnut dynamic: %d/%d want 306/20", s, f)
+	}
+	if s, f := count(sysfilter, static); s != 1 || f != 230 {
+		t.Errorf("SysFilter static: %d/%d want 1/230", s, f)
+	}
+	if s, f := count(sysfilter, dynamic); s != 108 || f != 218 {
+		t.Errorf("SysFilter dynamic: %d/%d want 108/218", s, f)
+	}
+
+	// Average identified-set sizes: B-Side well below SysFilter well
+	// below Chestnut.
+	bAvg := collect(d.Rows, bside, dynamic).avg()
+	cAvg := collect(d.Rows, chestnut, dynamic).avg()
+	sAvg := collect(d.Rows, sysfilter, dynamic).avg()
+	if !(bAvg < sAvg && sAvg < cAvg) {
+		t.Errorf("avg ordering: B-Side %.0f, SysFilter %.0f, Chestnut %.0f", bAvg, sAvg, cAvg)
+	}
+	if cAvg < 260 {
+		t.Errorf("Chestnut dynamic avg %.0f, want >= 260", cAvg)
+	}
+	if bAvg > 90 {
+		t.Errorf("B-Side dynamic avg %.0f, want < 90", bAvg)
+	}
+}
+
+func TestDebianNoFalseNegatives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus in -short mode")
+	}
+	d := evaluatedDebian(t)
+	for _, r := range d.Rows {
+		if r.BSide.Err != nil {
+			continue
+		}
+		if fn := FalseNegatives(r.BSide.Syscalls, r.Truth); len(fn) != 0 {
+			t.Errorf("%s: B-Side false negatives %v", r.Name, fn)
+		}
+	}
+}
+
+func TestDebianFailurePhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus in -short mode")
+	}
+	d := evaluatedDebian(t)
+	counts := map[FailPhase]int{}
+	for _, r := range d.Rows {
+		if r.BSide.Err != nil {
+			counts[r.BPhase]++
+		}
+	}
+	if counts[FailPhaseOther] != 0 {
+		t.Errorf("unclassified failures: %d", counts[FailPhaseOther])
+	}
+	// §5.2: CFG-recovery failures dominate; identification and wrapper
+	// detection follow.
+	if counts[FailPhaseCFG] <= counts[FailPhaseIdent]+counts[FailPhaseWrapper] {
+		t.Errorf("failure mix: cfg=%d ident=%d wrapper=%d",
+			counts[FailPhaseCFG], counts[FailPhaseIdent], counts[FailPhaseWrapper])
+	}
+	if counts[FailPhaseIdent] == 0 || counts[FailPhaseWrapper] == 0 {
+		t.Errorf("missing failure phases: %v", counts)
+	}
+}
+
+func TestDebianRenderers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus in -short mode")
+	}
+	d := evaluatedDebian(t)
+	t2 := Table2(d)
+	for _, want := range []string{"All binaries", "Static executables", "Dynamic executables", "failure phases"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("table 2 missing %q:\n%s", want, t2)
+		}
+	}
+	f8 := Figure8(d)
+	if !strings.Contains(f8, "#Syscalls") {
+		t.Errorf("figure 8:\n%s", f8)
+	}
+	t5 := Table5(d)
+	if !strings.Contains(t5, "CVE-2016-2383") || !strings.Contains(t5, "bpf") {
+		t.Errorf("table 5:\n%s", t5)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus in -short mode")
+	}
+	d := evaluatedDebian(t)
+	rows := Table5Rows(d)
+	if len(rows) != 36 {
+		t.Fatalf("CVE rows: %d", len(rows))
+	}
+	byID := map[string]float64{}
+	sum := 0.0
+	for _, r := range rows {
+		byID[r.CVE.ID] = r.Protected
+		sum += r.Protected
+		if r.Protected < 0.30 {
+			t.Errorf("%s: protection %.2f suspiciously low", r.CVE.ID, r.Protected)
+		}
+	}
+	// Rare syscalls protect nearly everyone; popular ones fewer.
+	if byID["CVE-2016-2383"] < 0.95 { // bpf
+		t.Errorf("bpf CVE protection %.2f, want ~1", byID["CVE-2016-2383"])
+	}
+	if byID["CVE-2016-4998"] > byID["CVE-2016-2383"] {
+		t.Error("setsockopt CVE should protect fewer binaries than bpf CVE")
+	}
+	if avg := sum / float64(len(rows)); avg < 0.75 {
+		t.Errorf("average protection %.2f, want >= 0.75", avg)
+	}
+}

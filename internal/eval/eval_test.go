@@ -1,0 +1,167 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"bside/internal/corpus"
+)
+
+// The app corpus is expensive enough to share across tests.
+var (
+	appsOnce sync.Once
+	appSet   *corpus.Set
+	appEvals []*AppEval
+	appErr   error
+)
+
+func evaluatedApps(t *testing.T) ([]*AppEval, *corpus.Set) {
+	t.Helper()
+	appsOnce.Do(func() {
+		appSet, appErr = corpus.GenerateApps()
+		if appErr != nil {
+			return
+		}
+		appEvals, appErr = EvalApps(appSet)
+	})
+	if appErr != nil {
+		t.Fatalf("apps: %v", appErr)
+	}
+	return appEvals, appSet
+}
+
+func TestPRF1(t *testing.T) {
+	cases := []struct {
+		id, truth []uint64
+		p, r      float64
+	}{
+		{[]uint64{1, 2}, []uint64{1, 2}, 1, 1},
+		{[]uint64{1, 2, 3, 4}, []uint64{1, 2}, 0.5, 1},
+		{[]uint64{1}, []uint64{1, 2}, 1, 0.5},
+		{nil, []uint64{1}, 0, 0},
+		{nil, nil, 1, 1},
+	}
+	for i, tc := range cases {
+		p, r, f1 := PRF1(tc.id, tc.truth)
+		if math.Abs(p-tc.p) > 1e-9 || math.Abs(r-tc.r) > 1e-9 {
+			t.Errorf("case %d: p=%v r=%v", i, p, r)
+		}
+		if tc.p+tc.r > 0 {
+			want := 2 * tc.p * tc.r / (tc.p + tc.r)
+			if math.Abs(f1-want) > 1e-9 {
+				t.Errorf("case %d: f1=%v want %v", i, f1, want)
+			}
+		}
+	}
+}
+
+func TestAppShapeMatchesPaper(t *testing.T) {
+	apps, _ := evaluatedApps(t)
+	if len(apps) != 6 {
+		t.Fatalf("apps: %d", len(apps))
+	}
+	var bsideF1s, chestnutF1s, sysfilterF1s []float64
+	for _, a := range apps {
+		if a.BSide.Err != nil {
+			t.Fatalf("%s: B-Side failed: %v", a.Name, a.BSide.Err)
+		}
+		if a.Chestnut.Err != nil || a.SysFilter.Err != nil {
+			t.Fatalf("%s: baseline failed: %v / %v", a.Name, a.Chestnut.Err, a.SysFilter.Err)
+		}
+
+		// §5.1's headline: B-Side has no false negatives; baselines do
+		// worse or equal.
+		if fn := FalseNegatives(a.BSide.Syscalls, a.Truth); len(fn) != 0 {
+			t.Errorf("%s: B-Side false negatives: %v", a.Name, fn)
+		}
+		sfFN := len(FalseNegatives(a.SysFilter.Syscalls, a.Truth))
+		if sfFN == 0 {
+			t.Errorf("%s: SysFilter should miss wrapper-carried syscalls", a.Name)
+		}
+
+		// Chestnut identifies > 268 (fallback-dominated).
+		if len(a.Chestnut.Syscalls) <= 268 {
+			t.Errorf("%s: Chestnut identified %d, want > 268", a.Name, len(a.Chestnut.Syscalls))
+		}
+		// B-Side's set stays close to the truth.
+		if len(a.BSide.Syscalls) >= len(a.Chestnut.Syscalls)/2 {
+			t.Errorf("%s: B-Side %d too close to Chestnut %d",
+				a.Name, len(a.BSide.Syscalls), len(a.Chestnut.Syscalls))
+		}
+
+		_, _, f1b := PRF1(a.BSide.Syscalls, a.Truth)
+		_, _, f1c := PRF1(a.Chestnut.Syscalls, a.Truth)
+		_, _, f1s := PRF1(a.SysFilter.Syscalls, a.Truth)
+		bsideF1s = append(bsideF1s, f1b)
+		chestnutF1s = append(chestnutF1s, f1c)
+		sysfilterF1s = append(sysfilterF1s, f1s)
+		if !(f1b > f1s && f1s > f1c) {
+			t.Errorf("%s: F1 ordering broken: B-Side %.2f, SysFilter %.2f, Chestnut %.2f",
+				a.Name, f1b, f1s, f1c)
+		}
+	}
+	// Average bands (paper: 0.81 / 0.31 / 0.53; we accept the band).
+	if avg := mean(bsideF1s); avg < 0.70 || avg > 0.95 {
+		t.Errorf("B-Side avg F1 = %.2f outside [0.70, 0.95]", avg)
+	}
+	if avg := mean(chestnutF1s); avg > 0.45 {
+		t.Errorf("Chestnut avg F1 = %.2f, want < 0.45", avg)
+	}
+	if avg := mean(sysfilterF1s); avg < 0.35 || avg > 0.70 {
+		t.Errorf("SysFilter avg F1 = %.2f outside [0.35, 0.70]", avg)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	apps, _ := evaluatedApps(t)
+	fig7 := Figure7(apps)
+	if !strings.Contains(fig7, "redis") || !strings.Contains(fig7, "FN(B-Side)") {
+		t.Errorf("figure 7 output:\n%s", fig7)
+	}
+	t1 := Table1(apps)
+	if !strings.Contains(t1, "B-Side") || !strings.Contains(t1, "avg") {
+		t.Errorf("table 1 output:\n%s", t1)
+	}
+	t3 := Table3(apps)
+	if !strings.Contains(t3, "BBs explored") {
+		t.Errorf("table 3 output:\n%s", t3)
+	}
+}
+
+func TestPhaseDetectionOnNginx(t *testing.T) {
+	apps, _ := evaluatedApps(t)
+	var nginx *AppEval
+	for _, a := range apps {
+		if a.Name == "nginx" {
+			nginx = a
+		}
+	}
+	if nginx == nil {
+		t.Fatal("no nginx app")
+	}
+	ps, err := EvalPhases(nginx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aut := ps.Automaton
+	if len(aut.Phases) < 3 {
+		t.Fatalf("too few phases: %d", len(aut.Phases))
+	}
+	// At least one large phase must be stricter than the whole-program
+	// set (the paper's 11-15% strictness gain).
+	gained := false
+	for _, ph := range aut.Phases {
+		if ph.CodeSize > 256 && len(ph.Allowed) > 0 && len(ph.Allowed) < ps.TotalSyscalls {
+			gained = true
+		}
+	}
+	if !gained {
+		t.Error("phase filtering provides no strictness gain")
+	}
+	out := Table4(ps)
+	if !strings.Contains(out, "phase automaton") {
+		t.Errorf("table 4 output:\n%s", out)
+	}
+}

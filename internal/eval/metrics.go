@@ -1,0 +1,121 @@
+// Package eval reproduces the paper's evaluation (§5): every table and
+// figure has a runner that regenerates its rows over the synthetic
+// corpus, plus plain-text renderers that print them in the paper's
+// layout. Absolute numbers reflect our substrate; the relationships the
+// paper reports (who wins, by what factor, where failures come from)
+// are the reproduction target — see EXPERIMENTS.md.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PRF1 computes precision, recall and F1 of identified against truth.
+func PRF1(identified, truth []uint64) (p, r, f1 float64) {
+	if len(identified) == 0 && len(truth) == 0 {
+		return 1, 1, 1
+	}
+	t := make(map[uint64]bool, len(truth))
+	for _, n := range truth {
+		t[n] = true
+	}
+	tp := 0
+	for _, n := range identified {
+		if t[n] {
+			tp++
+		}
+	}
+	if len(identified) > 0 {
+		p = float64(tp) / float64(len(identified))
+	}
+	if len(truth) > 0 {
+		r = float64(tp) / float64(len(truth))
+	}
+	if p+r > 0 {
+		f1 = 2 * p * r / (p + r)
+	}
+	return p, r, f1
+}
+
+// FalseNegatives lists truth entries missing from identified.
+func FalseNegatives(identified, truth []uint64) []uint64 {
+	have := make(map[uint64]bool, len(identified))
+	for _, n := range identified {
+		have[n] = true
+	}
+	var out []uint64
+	for _, n := range truth {
+		if !have[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union merges sorted syscall sets.
+func Union(sets ...[]uint64) []uint64 {
+	m := make(map[uint64]bool)
+	for _, s := range sets {
+		for _, n := range s {
+			m[n] = true
+		}
+	}
+	out := make([]uint64, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mean averages a slice.
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// renderTable prints rows with aligned columns.
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

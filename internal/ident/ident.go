@@ -1,0 +1,360 @@
+// Package ident implements B-Side's system-call identification (§4.4 of
+// the paper): locating syscall sites on the recovered CFG, detecting
+// system-call wrappers with a two-phase heuristic (fast use-define scan
+// confirmed by symbolic execution), and determining the possible %rax
+// values at each site via a backward breadth-first search over
+// predecessors combined with directed forward symbolic execution.
+package ident
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"bside/internal/cfg"
+	"bside/internal/symex"
+	"bside/internal/x86"
+)
+
+// ErrTimeout is returned when the shared symbolic-execution budget is
+// exhausted before the analysis completes — the in-process analog of
+// the paper's wall-clock analysis timeouts.
+var ErrTimeout = errors.New("ident: analysis budget exhausted")
+
+// Config tunes the identification pass.
+type Config struct {
+	// Budget is shared by every symbolic search in this analysis; nil
+	// gets a default.
+	Budget *symex.Budget
+	// MaxBFSDepth bounds how many predecessor layers the backward
+	// search may explore per site.
+	MaxBFSDepth int
+	// MaxFrontier bounds the total frontier nodes per site.
+	MaxFrontier int
+	// StackParams is how many stack slots are tagged as parameters
+	// during wrapper detection.
+	StackParams int
+	// ImportWrappers names imported symbols known (from shared-library
+	// interfaces) to be syscall wrappers, with the parameter that
+	// carries the syscall number.
+	ImportWrappers map[string]symex.ParamRef
+	// SyscallUpper discards resolved values at or above this bound
+	// (they are addresses or artifacts, not syscall numbers).
+	SyscallUpper uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget == nil {
+		c.Budget = symex.NewBudget()
+	}
+	if c.MaxBFSDepth == 0 {
+		c.MaxBFSDepth = 256
+	}
+	if c.MaxFrontier == 0 {
+		c.MaxFrontier = 4_096
+	}
+	if c.StackParams == 0 {
+		c.StackParams = 8
+	}
+	if c.SyscallUpper == 0 {
+		c.SyscallUpper = 1024
+	}
+	return c
+}
+
+// SiteResult describes the outcome for one identification target: a
+// syscall instruction, or — for wrapper and import-wrapper redirection —
+// one call site of the wrapper.
+type SiteResult struct {
+	// Addr is the address of the site's final instruction (the syscall
+	// or the call into the wrapper).
+	Addr uint64
+	// Block is the CFG block whose last instruction is the site.
+	Block *cfg.Block
+	// Kind explains what was identified.
+	Kind SiteKind
+	// Wrapper is the wrapper function entry for redirected sites.
+	Wrapper uint64
+	// Syscalls lists the resolved syscall numbers at this site.
+	Syscalls []uint64
+	// FailOpen is set when the search could not bound the value set;
+	// the binary-level report then falls back to the full table for
+	// soundness.
+	FailOpen bool
+	// BlocksExplored counts symbolically executed blocks for this site.
+	BlocksExplored int
+}
+
+// SiteKind classifies identification targets.
+type SiteKind uint8
+
+// Site kinds.
+const (
+	// SitePlain is a syscall instruction in a non-wrapper function.
+	SitePlain SiteKind = iota + 1
+	// SiteWrapperDef is a syscall inside a detected wrapper; it carries
+	// no values itself (they are attributed to call sites).
+	SiteWrapperDef
+	// SiteWrapperCall is a call site of a local wrapper function.
+	SiteWrapperCall
+	// SiteImportCall is a call site of an imported wrapper function.
+	SiteImportCall
+)
+
+// String names the site kind.
+func (k SiteKind) String() string {
+	switch k {
+	case SitePlain:
+		return "plain"
+	case SiteWrapperDef:
+		return "wrapper-def"
+	case SiteWrapperCall:
+		return "wrapper-call"
+	case SiteImportCall:
+		return "import-call"
+	}
+	return "?"
+}
+
+// WrapperInfo describes a detected syscall wrapper.
+type WrapperInfo struct {
+	FnEntry  uint64
+	FnName   string
+	SiteAddr uint64
+	Param    symex.ParamRef
+}
+
+// Stats reports analysis effort (Table 3's columns).
+type Stats struct {
+	WrapperDetect  time.Duration
+	Identify       time.Duration
+	BlocksExplored int
+	SyscallSites   int
+	Wrappers       int
+}
+
+// Report is the identification result for one binary.
+type Report struct {
+	// Syscalls is the deduplicated, sorted union over all sites, with
+	// artifacts above SyscallUpper dropped.
+	Syscalls []uint64
+	// Sites holds per-target details.
+	Sites []SiteResult
+	// Wrappers lists detected wrapper functions.
+	Wrappers []WrapperInfo
+	// ReachableImports lists imported symbols the program can call.
+	ReachableImports []string
+	// FailOpen is set when at least one site could not be bounded; the
+	// caller must union the full syscall table to preserve soundness.
+	FailOpen bool
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// HasSyscall reports whether n is in the identified set.
+func (r *Report) HasSyscall(n uint64) bool {
+	i := sort.Search(len(r.Syscalls), func(i int) bool { return r.Syscalls[i] >= n })
+	return i < len(r.Syscalls) && r.Syscalls[i] == n
+}
+
+// Analyze identifies the system calls of the binary behind g.
+func Analyze(g *cfg.Graph, conf Config) (*Report, error) {
+	conf = conf.withDefaults()
+	a := &analyzer{g: g, conf: conf, machine: symex.NewMachine(g, conf.Budget)}
+	return a.run()
+}
+
+type analyzer struct {
+	g       *cfg.Graph
+	conf    Config
+	machine *symex.Machine
+	reach   map[*cfg.Block]bool
+}
+
+func (a *analyzer) run() (*Report, error) {
+	rep := &Report{}
+	a.reach = a.g.Reachable(a.g.Roots...)
+
+	// Imports reachable from the roots.
+	importSet := make(map[string]bool)
+	for blk := range a.reach {
+		if blk.ImportCall != "" {
+			importSet[blk.ImportCall] = true
+		}
+	}
+	rep.ReachableImports = sortedStrings(importSet)
+
+	// Locate reachable syscall sites.
+	var sites []*cfg.Block
+	for _, blk := range a.g.SyscallBlocks() {
+		if a.reach[blk] {
+			sites = append(sites, blk)
+		}
+	}
+	rep.Stats.SyscallSites = len(sites)
+
+	// Phase G: wrapper detection per containing function. Both
+	// positive and negative verdicts are cached per function; a
+	// function with several sites is only analyzed once.
+	wrapStart := time.Now()
+	wrappers := make(map[uint64]*WrapperInfo) // function entry -> info
+	checked := make(map[uint64]bool)
+	for _, site := range sites {
+		fn, ok := a.g.FuncContaining(site.Addr)
+		if !ok {
+			continue
+		}
+		if checked[fn.Entry] {
+			continue
+		}
+		checked[fn.Entry] = true
+		info, isWrapper, err := a.detectWrapper(fn, site)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper detection: %w", err)
+		}
+		if isWrapper {
+			wrappers[fn.Entry] = info
+			rep.Wrappers = append(rep.Wrappers, *info)
+		}
+	}
+	rep.Stats.WrapperDetect = time.Since(wrapStart)
+	rep.Stats.Wrappers = len(wrappers)
+
+	// Phase H: per-site type identification.
+	identStart := time.Now()
+	values := make(map[uint64]bool)
+	addResult := func(res SiteResult) {
+		rep.Sites = append(rep.Sites, res)
+		rep.Stats.BlocksExplored += res.BlocksExplored
+		if res.FailOpen {
+			rep.FailOpen = true
+		}
+		for _, v := range res.Syscalls {
+			if v < a.conf.SyscallUpper {
+				values[v] = true
+			}
+		}
+	}
+
+	for _, site := range sites {
+		fn, _ := a.g.FuncContaining(site.Addr)
+		if fn != nil {
+			if w, isWrapper := wrappers[fn.Entry]; isWrapper {
+				// The wrapper's own site is recorded without values...
+				addResult(SiteResult{
+					Addr:    site.Last().Addr,
+					Block:   site,
+					Kind:    SiteWrapperDef,
+					Wrapper: fn.Entry,
+				})
+				// ...and each reachable call site of the wrapper is
+				// identified against the wrapper's number parameter.
+				for _, callBlk := range a.callSitesOf(fn.Entry) {
+					res := a.identify(callBlk, &w.Param)
+					res.Kind = SiteWrapperCall
+					res.Wrapper = fn.Entry
+					addResult(res)
+				}
+				continue
+			}
+		}
+		res := a.identify(site, nil)
+		res.Kind = SitePlain
+		addResult(res)
+	}
+
+	// Import-wrapper call sites (e.g. libc's syscall() used by the
+	// program): identified against the parameter recorded in the
+	// library's shared interface.
+	for name, param := range a.conf.ImportWrappers {
+		if !importSet[name] {
+			continue
+		}
+		for _, callBlk := range a.importCallSites(name) {
+			p := param
+			res := a.identify(callBlk, &p)
+			res.Kind = SiteImportCall
+			addResult(res)
+		}
+	}
+
+	rep.Stats.Identify = time.Since(identStart)
+	if a.conf.Budget.Exhausted() {
+		return nil, fmt.Errorf("identification: %w", ErrTimeout)
+	}
+
+	rep.Syscalls = make([]uint64, 0, len(values))
+	for v := range values {
+		rep.Syscalls = append(rep.Syscalls, v)
+	}
+	sort.Slice(rep.Syscalls, func(i, j int) bool { return rep.Syscalls[i] < rep.Syscalls[j] })
+	sort.Slice(rep.Sites, func(i, j int) bool { return rep.Sites[i].Addr < rep.Sites[j].Addr })
+	return rep, nil
+}
+
+// callSitesOf returns the reachable blocks that call the function at
+// entry (directly or through a resolved indirect edge).
+func (a *analyzer) callSitesOf(entry uint64) []*cfg.Block {
+	entryBlk, ok := a.g.BlockAt(entry)
+	if !ok {
+		return nil
+	}
+	var out []*cfg.Block
+	seen := make(map[*cfg.Block]bool)
+	for _, e := range entryBlk.Preds {
+		if e.Kind != cfg.EdgeCall && e.Kind != cfg.EdgeIndirectCall {
+			continue
+		}
+		if !a.reach[e.From] || seen[e.From] {
+			continue
+		}
+		seen[e.From] = true
+		out = append(out, e.From)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// importCallSites returns reachable blocks that transfer to the named
+// import: direct calls through [rip+slot], and calls to its local stub.
+func (a *analyzer) importCallSites(name string) []*cfg.Block {
+	var out []*cfg.Block
+	seen := make(map[*cfg.Block]bool)
+	add := func(b *cfg.Block) {
+		if b != nil && a.reach[b] && !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	for blk := range a.reach {
+		if blk.ImportCall == name && blk.Last().Op == x86.OpCallInd {
+			add(blk)
+		}
+	}
+	// Calls to the PLT-style stub: the stub block carries ImportCall
+	// and is reached via EdgeCall from the real call sites.
+	for stubAddr, stubName := range a.g.ImportStubs {
+		if stubName != name {
+			continue
+		}
+		if stub, ok := a.g.BlockAt(stubAddr); ok {
+			for _, e := range stub.Preds {
+				if e.Kind == cfg.EdgeCall || e.Kind == cfg.EdgeIndirectCall {
+					add(e.From)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+func sortedStrings(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

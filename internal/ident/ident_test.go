@@ -1,0 +1,384 @@
+package ident
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"bside/internal/asm"
+	"bside/internal/cfg"
+	"bside/internal/elff"
+	"bside/internal/symex"
+	"bside/internal/testbin"
+	"bside/internal/x86"
+)
+
+func analyzeProgram(t *testing.T, fn func(b *asm.Builder)) *Report {
+	t.Helper()
+	bin, _ := testbin.Build(t, elff.KindStatic, fn, nil)
+	g, err := cfg.Recover(bin, cfg.Options{})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	rep, err := Analyze(g, Config{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return rep
+}
+
+func wantSyscalls(t *testing.T, rep *Report, want ...uint64) {
+	t.Helper()
+	if !reflect.DeepEqual(rep.Syscalls, want) {
+		t.Fatalf("syscalls = %v, want %v (failopen=%v)", rep.Syscalls, want, rep.FailOpen)
+	}
+	if rep.FailOpen {
+		t.Fatal("unexpected fail-open")
+	}
+}
+
+func TestIdentifySameBlock(t *testing.T) {
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+	})
+	wantSyscalls(t, rep, 60)
+}
+
+func TestIdentifyAcrossBlocks(t *testing.T) {
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 2)
+		b.CmpRegImm(x86.RDI, 0)
+		b.Jcc(x86.CondE, "sys")
+		b.MovRegImm32(x86.RAX, 0)
+		b.Label("sys")
+		b.Syscall()
+		b.Ret()
+	})
+	wantSyscalls(t, rep, 0, 2)
+}
+
+func TestIdentifyThroughStack(t *testing.T) {
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.SubRegImm(x86.RSP, 16)
+		b.MovMemImm32(x86.Mem{Base: x86.RSP, Index: x86.RegNone, Scale: 1}, 1)
+		b.Nop()
+		b.MovRegMem(x86.RAX, x86.Mem{Base: x86.RSP, Index: x86.RegNone, Scale: 1})
+		b.Syscall()
+		b.AddRegImm(x86.RSP, 16)
+		b.Ret()
+	})
+	wantSyscalls(t, rep, 1)
+}
+
+func TestIdentifyLocalRegisterWrapper(t *testing.T) {
+	// A libc-style wrapper with the number in rdi, called twice with
+	// different constants. The wrapper must be detected, its own site
+	// must contribute nothing, and the two call sites must resolve.
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RDI, 39) // getpid
+		b.CallLabel("do_syscall")
+		b.MovRegImm32(x86.RDI, 57) // fork
+		b.CallLabel("do_syscall")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Func("do_syscall")
+		b.MovRegReg(x86.RAX, x86.RDI)
+		b.Syscall()
+		b.Ret()
+	})
+	wantSyscalls(t, rep, 39, 57, 60)
+	if len(rep.Wrappers) != 1 {
+		t.Fatalf("wrappers: %+v", rep.Wrappers)
+	}
+	w := rep.Wrappers[0]
+	if w.FnName != "do_syscall" || w.Param.Stack || w.Param.Reg != x86.RDI {
+		t.Fatalf("wrapper: %+v", w)
+	}
+	var kinds []SiteKind
+	for _, s := range rep.Sites {
+		kinds = append(kinds, s.Kind)
+	}
+	wantKinds := map[SiteKind]int{SitePlain: 1, SiteWrapperDef: 1, SiteWrapperCall: 2}
+	got := map[SiteKind]int{}
+	for _, k := range kinds {
+		got[k]++
+	}
+	if !reflect.DeepEqual(got, wantKinds) {
+		t.Fatalf("site kinds: %v", got)
+	}
+}
+
+func TestIdentifyStackArgWrapper(t *testing.T) {
+	// A Go-style wrapper taking the number on the stack: the immediate
+	// travels through memory at every call site (the case SysFilter
+	// cannot handle, §2.4/Fig 1-C).
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.SubRegImm(x86.RSP, 16)
+		b.MovMemImm32(x86.Mem{Base: x86.RSP, Index: x86.RegNone, Scale: 1}, 35) // nanosleep
+		b.CallLabel("go_syscall")
+		b.MovMemImm32(x86.Mem{Base: x86.RSP, Index: x86.RegNone, Scale: 1}, 202) // futex
+		b.CallLabel("go_syscall")
+		b.AddRegImm(x86.RSP, 16)
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Func("go_syscall")
+		b.MovRegMem(x86.RAX, x86.Mem{Base: x86.RSP, Index: x86.RegNone, Scale: 1, Disp: 8})
+		b.Syscall()
+		b.Ret()
+	})
+	wantSyscalls(t, rep, 35, 60, 202)
+	if len(rep.Wrappers) != 1 {
+		t.Fatalf("wrappers: %+v", rep.Wrappers)
+	}
+	w := rep.Wrappers[0]
+	if !w.Param.Stack || w.Param.Off != 8 {
+		t.Fatalf("wrapper param: %+v", w.Param)
+	}
+}
+
+func TestIdentifyWrapperDefinitionsFarFromCall(t *testing.T) {
+	// The syscall number is computed several blocks before the wrapper
+	// call, passing through a register chain.
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RBX, 10) // mprotect...
+		b.Nop()
+		b.MovRegReg(x86.RDI, x86.RBX)
+		b.CmpRegImm(x86.RBX, 0)
+		b.Jcc(x86.CondNE, "call")
+		b.MovRegImm32(x86.RDI, 11) // ...or munmap
+		b.Label("call")
+		b.CallLabel("w")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Func("w")
+		b.MovRegReg(x86.RAX, x86.RDI)
+		b.Syscall()
+		b.Ret()
+	})
+	wantSyscalls(t, rep, 10, 11, 60)
+}
+
+func TestIdentifyPopularFunctionBetweenDefAndSite(t *testing.T) {
+	// Figure 2-A: a popular helper is called between the immediate
+	// definition and the syscall. The search must not explode into the
+	// helper's other callers, and the callee-saved value must survive.
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RBX, 3)
+		b.CallLabel("memcpyish")
+		b.MovRegReg(x86.RAX, x86.RBX)
+		b.Syscall()
+		// Several other callers of the helper.
+		b.CallLabel("memcpyish")
+		b.CallLabel("memcpyish")
+		b.Ret()
+		b.Func("memcpyish")
+		b.MovRegImm32(x86.RAX, 1111)
+		b.Ret()
+	})
+	wantSyscalls(t, rep, 3)
+}
+
+func TestImportWrapperCallSites(t *testing.T) {
+	// The program imports a wrapper (libc syscall()) and calls it with
+	// a constant; the interface tells us which parameter carries the
+	// number.
+	bin, syms := testbin.Build(t, elff.KindDynamic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RDI, 41) // socket
+		b.CallLabel("stub_syscall")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Func("stub_syscall")
+		b.JmpMemRIP("got_syscall")
+		b.Label("__code_end")
+		b.Align(8)
+		b.Label("got_syscall")
+		b.Quad(0)
+	}, func(spec *elff.Spec, syms map[string]uint64) {
+		spec.Imports = []elff.Import{{Name: "syscall", SlotAddr: syms["got_syscall"]}}
+		spec.Needed = []string{"libc.so"}
+	})
+	_ = syms
+	g, err := cfg.Recover(bin, cfg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(g, Config{
+		ImportWrappers: map[string]symex.ParamRef{
+			"syscall": {Reg: x86.RDI},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSyscalls(t, rep, 41, 60)
+	if len(rep.ReachableImports) != 1 || rep.ReachableImports[0] != "syscall" {
+		t.Fatalf("imports: %v", rep.ReachableImports)
+	}
+}
+
+func TestIndirectCallTargetsIdentified(t *testing.T) {
+	// A syscall reached only through a function pointer.
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.Lea(x86.RDX, "handler")
+		b.CallReg(x86.RDX)
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Func("handler")
+		b.MovRegImm32(x86.RAX, 1)
+		b.Syscall()
+		b.Ret()
+	})
+	wantSyscalls(t, rep, 1, 60)
+}
+
+func TestJumpTableDispatchIdentified(t *testing.T) {
+	// A switch-style jump table: the case targets are function pointers
+	// in DATA, invisible to the lea-based address-taken scan; the
+	// data-pointer harvest must pull them in so their syscalls are not
+	// false negatives.
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RCX, 1)
+		b.Lea(x86.RDX, "table")
+		b.MovRegMem(x86.RDX, x86.Mem{Base: x86.RDX, Index: x86.RCX, Scale: 8})
+		b.JmpReg(x86.RDX)
+		b.Func("case0")
+		b.MovRegImm32(x86.RAX, 11)
+		b.JmpLabel("out")
+		b.Func("case1")
+		b.MovRegImm32(x86.RAX, 22)
+		b.Label("out")
+		b.Syscall()
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Label("__code_end")
+		b.Align(8)
+		b.Label("table")
+		b.QuadLabel("case0")
+		b.QuadLabel("case1")
+	})
+	wantSyscalls(t, rep, 11, 22, 60)
+}
+
+func TestUnreachableSyscallIgnored(t *testing.T) {
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Func("dead")
+		b.MovRegImm32(x86.RAX, 57)
+		b.Syscall()
+		b.Ret()
+	})
+	wantSyscalls(t, rep, 60)
+}
+
+func TestFailOpenOnUnboundedValue(t *testing.T) {
+	// rax comes from a register that nothing ever defines: the search
+	// must fail open rather than report a false (empty) result.
+	rep := analyzeProgram(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegReg(x86.RAX, x86.R15)
+		b.Syscall()
+		b.Ret()
+	})
+	if !rep.FailOpen {
+		t.Fatal("expected fail-open for unbounded %rax")
+	}
+}
+
+func TestTimeoutPropagates(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		for i := 0; i < 64; i++ {
+			b.CallLabel("w")
+		}
+		b.Ret()
+		b.Func("w")
+		b.MovRegReg(x86.RAX, x86.RDI)
+		b.Syscall()
+		b.Ret()
+	}, nil)
+	g, err := cfg.Recover(bin, cfg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Analyze(g, Config{Budget: &symex.Budget{MaxSteps: 50, MaxForks: 2, MaxVisits: 2}})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestExportProfiles(t *testing.T) {
+	// A mini libc: write() does syscall 1, exit() does 60, syscall() is
+	// a wrapper, and dual() calls the wrapper with a constant.
+	bin, _ := testbin.Build(t, elff.KindShared, func(b *asm.Builder) {
+		b.Func("write")
+		b.MovRegImm32(x86.RAX, 1)
+		b.Syscall()
+		b.Ret()
+		b.Func("exit")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Func("syscall")
+		b.MovRegReg(x86.RAX, x86.RDI)
+		b.Syscall()
+		b.Ret()
+		b.Func("dual")
+		b.MovRegImm32(x86.RDI, 102) // getuid
+		b.CallLabel("syscall")
+		b.Ret()
+	}, func(spec *elff.Spec, syms map[string]uint64) {
+		spec.Exports = []elff.Export{
+			{Name: "write", Addr: syms["write"]},
+			{Name: "exit", Addr: syms["exit"]},
+			{Name: "syscall", Addr: syms["syscall"]},
+			{Name: "dual", Addr: syms["dual"]},
+		}
+	})
+	g, err := cfg.Recover(bin, cfg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := ExportProfiles(g, rep)
+	byName := make(map[string]ExportProfile)
+	for _, p := range profiles {
+		byName[p.Name] = p
+	}
+	if got := byName["write"].Syscalls; !reflect.DeepEqual(got, []uint64{1}) {
+		t.Errorf("write: %v", got)
+	}
+	if got := byName["exit"].Syscalls; !reflect.DeepEqual(got, []uint64{60}) {
+		t.Errorf("exit: %v", got)
+	}
+	sw := byName["syscall"]
+	if sw.Wrapper == nil || sw.Wrapper.Reg != x86.RDI || sw.Wrapper.Stack {
+		t.Errorf("syscall wrapper: %+v", sw.Wrapper)
+	}
+	if got := byName["dual"].Syscalls; !reflect.DeepEqual(got, []uint64{102}) {
+		t.Errorf("dual: %v", got)
+	}
+}

@@ -1,0 +1,130 @@
+package ident
+
+import (
+	"sort"
+
+	"bside/internal/cfg"
+	"bside/internal/symex"
+	"bside/internal/x86"
+)
+
+// identify implements the search of Figure 5: starting from the target
+// block (which resolves Figure 1-A cases by itself), predecessors are
+// explored breadth-first; each frontier node seeds a forward symbolic
+// execution directed at the target through the nodes the backward
+// search has already visited. A frontier node all of whose directed
+// paths reach the target with a concrete value is *immediate-defining*
+// and its own predecessors are pruned from the search.
+//
+// If param is nil the queried value is %rax before the target's syscall
+// instruction; otherwise it is the given wrapper parameter before the
+// target's call instruction.
+func (a *analyzer) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
+	res := SiteResult{Addr: target.Last().Addr, Block: target}
+	values := make(map[uint64]bool)
+
+	query := func(st *symex.State) symex.Value {
+		if param == nil {
+			return st.Reg(x86.RAX)
+		}
+		return symex.ParamValueAtCall(st, *param)
+	}
+
+	directed := make(map[*cfg.Block]bool)
+
+	// evaluate runs forward from `from` and folds the observed values.
+	// It returns (allConcrete, reachedSite).
+	evaluate := func(from *cfg.Block) (bool, bool) {
+		run := a.machine.RunToSite(from, symex.NewState(), directed, target)
+		res.BlocksExplored += run.BlocksExecuted
+		if run.HitBudget {
+			res.FailOpen = true
+			return false, len(run.SiteStates) > 0
+		}
+		all := len(run.SiteStates) > 0
+		for _, st := range run.SiteStates {
+			if k, ok := query(st).IsConst(); ok {
+				values[k] = true
+			} else {
+				all = false
+			}
+		}
+		return all, len(run.SiteStates) > 0
+	}
+
+	// The target block itself first (Figure 1-A: the defining immediate
+	// shares the block with the syscall).
+	selfConcrete, _ := evaluate(target)
+
+	if !selfConcrete && !res.FailOpen {
+		visited := map[*cfg.Block]bool{target: true}
+		pending := predBlocks(target)
+		if len(pending) == 0 {
+			// Nothing above the target can define the value.
+			res.FailOpen = true
+		}
+		frontier := 0
+
+		for depth := 1; len(pending) > 0 && depth <= a.conf.MaxBFSDepth; depth++ {
+			var next []*cfg.Block
+			for _, p := range pending {
+				if visited[p] {
+					continue
+				}
+				visited[p] = true
+				frontier++
+				if frontier > a.conf.MaxFrontier {
+					res.FailOpen = true
+					break
+				}
+				directed[p] = true
+				allConcrete, _ := evaluate(p)
+				if res.FailOpen {
+					break
+				}
+				if allConcrete {
+					// Immediate-defining: prune this path.
+					continue
+				}
+				preds := predBlocks(p)
+				if len(preds) == 0 {
+					// The search ran off the top of the program (or an
+					// unreferenced root) without bounding the value.
+					res.FailOpen = true
+					break
+				}
+				next = append(next, preds...)
+			}
+			if res.FailOpen {
+				break
+			}
+			pending = next
+			if len(pending) > 0 && depth == a.conf.MaxBFSDepth {
+				res.FailOpen = true
+			}
+		}
+	}
+
+	res.Syscalls = make([]uint64, 0, len(values))
+	for v := range values {
+		res.Syscalls = append(res.Syscalls, v)
+	}
+	sort.Slice(res.Syscalls, func(i, j int) bool { return res.Syscalls[i] < res.Syscalls[j] })
+	return res
+}
+
+// predBlocks returns the deduplicated predecessor blocks of b across
+// every edge kind (fall, jump, call, call-fall, indirect).
+func predBlocks(b *cfg.Block) []*cfg.Block {
+	seen := make(map[*cfg.Block]bool, len(b.Preds))
+	out := make([]*cfg.Block, 0, len(b.Preds))
+	for _, e := range b.Preds {
+		if e.From == b || seen[e.From] {
+			continue
+		}
+		seen[e.From] = true
+		out = append(out, e.From)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

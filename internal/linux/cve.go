@@ -1,0 +1,64 @@
+package linux
+
+// CVEType categorizes a vulnerability's impact (Table 5's legend).
+type CVEType string
+
+// CVE impact categories.
+const (
+	CVEBypass    CVEType = "B"   // check bypass
+	CVELeak      CVEType = "L"   // info leak
+	CVEUseAfter  CVEType = "UaF" // use after free
+	CVERead      CVEType = "R"   // memory read primitive
+	CVEWrite     CVEType = "W"   // memory write primitive
+	CVEDoS       CVEType = "DoS" // denial of service
+	CVEPrivilege CVEType = "P"   // privilege escalation
+)
+
+// CVE is one kernel vulnerability triggerable through system calls.
+type CVE struct {
+	ID       string
+	Syscalls []uint64
+	Types    []CVEType
+}
+
+// CVEs is the list evaluated in Table 5 (from the SysFilter, Confine
+// and Kite papers; CVEs prior to 2014 omitted as in the paper).
+// compat_sys_* entries are mapped to their native x86-64 numbers.
+var CVEs = []CVE{
+	{"CVE-2021-35039", []uint64{175}, []CVEType{CVEBypass}},                       // init_module
+	{"CVE-2019-13272", []uint64{SysPtrace}, []CVEType{CVEPrivilege}},              // ptrace
+	{"CVE-2019-11815", []uint64{SysClone, 272}, []CVEType{CVEUseAfter}},           // clone, unshare
+	{"CVE-2019-10125", []uint64{209}, []CVEType{CVEUseAfter}},                     // io_submit
+	{"CVE-2019-9857", []uint64{254}, []CVEType{CVEDoS}},                           // inotify_add_watch
+	{"CVE-2019-3901", []uint64{SysExecve}, []CVEType{CVELeak}},                    // execve
+	{"CVE-2018-18281", []uint64{77, 25}, []CVEType{CVEUseAfter}},                  // ftruncate, mremap
+	{"CVE-2018-14634", []uint64{SysExecve, SysExecveat}, []CVEType{CVEPrivilege}}, // execve, execveat
+	{"CVE-2018-13053", []uint64{230}, []CVEType{CVEDoS}},                          // clock_nanosleep
+	{"CVE-2018-12233", []uint64{188}, []CVEType{CVEPrivilege, CVELeak, CVEDoS}},   // setxattr
+	{"CVE-2018-11508", []uint64{159}, []CVEType{CVELeak}},                         // adjtimex
+	{"CVE-2018-1068", []uint64{SysSetsockopt}, []CVEType{CVEWrite}},               // compat_sys_setsockopt
+	{"CVE-2017-18509", []uint64{SysSetsockopt, SysGetsockopt}, []CVEType{CVEPrivilege, CVEDoS}},
+	{"CVE-2017-18344", []uint64{222}, []CVEType{CVERead}},                          // timer_create
+	{"CVE-2017-17712", []uint64{SysSendto, SysSendmsg}, []CVEType{CVEPrivilege}},   // sendto, sendmsg
+	{"CVE-2017-17053", []uint64{154, SysClone}, []CVEType{CVEUseAfter}},            // modify_ldt, clone
+	{"CVE-2017-14954", []uint64{247}, []CVEType{CVEBypass, CVEPrivilege, CVELeak}}, // waitid
+	{"CVE-2017-11176", []uint64{244}, []CVEType{CVEDoS}},                           // mq_notify
+	{"CVE-2017-6001", []uint64{298}, []CVEType{CVEPrivilege}},                      // perf_event_open
+	{"CVE-2016-7911", []uint64{252}, []CVEType{CVEPrivilege, CVEDoS}},              // ioprio_get
+	{"CVE-2016-6198", []uint64{SysRename}, []CVEType{CVEDoS}},                      // rename
+	{"CVE-2016-6197", []uint64{SysRename, SysUnlink}, []CVEType{CVEDoS}},           // rename, unlink
+	{"CVE-2016-4998", []uint64{SysSetsockopt}, []CVEType{CVEPrivilege, CVEDoS}},    // setsockopt
+	{"CVE-2016-4997", []uint64{SysSetsockopt}, []CVEType{CVEPrivilege, CVEDoS}},    // setsockopt
+	{"CVE-2016-3134", []uint64{SysSetsockopt}, []CVEType{CVEPrivilege, CVEDoS}},    // setsockopt
+	{"CVE-2016-2383", []uint64{321}, []CVEType{CVELeak}},                           // bpf
+	{"CVE-2016-0728", []uint64{250}, []CVEType{CVEPrivilege, CVEDoS}},              // keyctl
+	{"CVE-2015-8543", []uint64{SysSocket}, []CVEType{CVEPrivilege, CVEDoS}},        // socket
+	{"CVE-2015-7613", []uint64{64, 68, 29}, []CVEType{CVEPrivilege}},               // semget, msgget, shmget
+	{"CVE-2014-9903", []uint64{315}, []CVEType{CVELeak}},                           // sched_getattr
+	{"CVE-2014-9529", []uint64{250}, []CVEType{CVEDoS}},                            // keyctl
+	{"CVE-2014-8133", []uint64{205}, []CVEType{CVEBypass}},                         // set_thread_area
+	{"CVE-2014-7970", []uint64{155}, []CVEType{CVEDoS}},                            // pivot_root
+	{"CVE-2014-5207", []uint64{165}, []CVEType{CVEPrivilege}},                      // mount
+	{"CVE-2014-4699", []uint64{SysFork, SysClone, SysPtrace}, []CVEType{CVEPrivilege, CVEDoS}},
+	{"CVE-2014-3180", []uint64{SysNanosleep}, []CVEType{CVERead}}, // compat_sys_nanosleep
+}

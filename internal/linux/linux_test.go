@@ -1,0 +1,121 @@
+package linux
+
+import "testing"
+
+func TestNameNumberRoundTrip(t *testing.T) {
+	cases := map[uint64]string{
+		0: "read", 1: "write", 2: "open", 41: "socket", 56: "clone",
+		57: "fork", 59: "execve", 60: "exit", 101: "ptrace",
+		202: "futex", 231: "exit_group", 322: "execveat", 334: "rseq",
+	}
+	for n, want := range cases {
+		if got := Name(n); got != want {
+			t.Errorf("Name(%d) = %q want %q", n, got, want)
+		}
+		if num, ok := Number(want); !ok || num != n {
+			t.Errorf("Number(%q) = %d,%v want %d", want, num, ok, n)
+		}
+	}
+	if Name(uint64(TableSize)) != "" {
+		t.Error("out-of-range name must be empty")
+	}
+	if _, ok := Number("not_a_syscall"); ok {
+		t.Error("bogus name resolved")
+	}
+}
+
+func TestTableDense(t *testing.T) {
+	if TableSize != 335 {
+		t.Fatalf("TableSize = %d, want 335", TableSize)
+	}
+	for n := 0; n < TableSize; n++ {
+		if names[n] == "" {
+			t.Errorf("gap at syscall %d", n)
+		}
+	}
+	all := All()
+	if len(all) != TableSize || all[0] != 0 || all[len(all)-1] != uint64(MaxSyscall) {
+		t.Fatalf("All(): len=%d", len(all))
+	}
+	// All must return a fresh slice.
+	all[0] = 999
+	if All()[0] != 0 {
+		t.Error("All must not share state")
+	}
+}
+
+func TestNoDuplicateNames(t *testing.T) {
+	seen := make(map[string]int)
+	for n, name := range names {
+		if prev, dup := seen[name]; dup {
+			t.Errorf("name %q at both %d and %d", name, prev, n)
+		}
+		seen[name] = n
+	}
+}
+
+func TestDangerous(t *testing.T) {
+	d := Dangerous()
+	if len(d) == 0 {
+		t.Fatal("empty dangerous list")
+	}
+	seen := map[uint64]bool{}
+	for _, n := range d {
+		if n > uint64(MaxSyscall) {
+			t.Errorf("dangerous syscall %d out of range", n)
+		}
+		if seen[n] {
+			t.Errorf("duplicate dangerous syscall %d (%s)", n, Name(n))
+		}
+		seen[n] = true
+	}
+	for _, want := range []uint64{SysExecve, SysExecveat} {
+		if !seen[want] {
+			t.Errorf("missing %s", Name(want))
+		}
+	}
+}
+
+func TestCVETable(t *testing.T) {
+	if len(CVEs) != 36 {
+		t.Fatalf("CVE count = %d, want 36 (Table 5)", len(CVEs))
+	}
+	ids := make(map[string]bool)
+	for _, c := range CVEs {
+		if ids[c.ID] {
+			t.Errorf("duplicate %s", c.ID)
+		}
+		ids[c.ID] = true
+		if len(c.Syscalls) == 0 || len(c.Types) == 0 {
+			t.Errorf("%s: empty syscalls or types", c.ID)
+		}
+		for _, n := range c.Syscalls {
+			if Name(n) == "" {
+				t.Errorf("%s: unknown syscall %d", c.ID, n)
+			}
+		}
+	}
+	// Spot checks against the paper's rows.
+	spot := map[string]string{
+		"CVE-2016-2383":  "bpf",
+		"CVE-2019-10125": "io_submit",
+		"CVE-2017-11176": "mq_notify",
+		"CVE-2014-7970":  "pivot_root",
+	}
+	for id, syscallName := range spot {
+		found := false
+		for _, c := range CVEs {
+			if c.ID != id {
+				continue
+			}
+			for _, n := range c.Syscalls {
+				if Name(n) == syscallName {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s must involve %s", id, syscallName)
+		}
+	}
+}

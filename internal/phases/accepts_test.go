@@ -1,0 +1,98 @@
+package phases
+
+import (
+	"testing"
+
+	"bside/internal/cfg"
+	"bside/internal/corpus"
+	"bside/internal/elff"
+	"bside/internal/emu"
+	"bside/internal/ident"
+)
+
+// TestAutomatonAcceptsDynamicTraces is the enforcement simulation: for
+// randomly parameterized static binaries, the emulator's syscall trace
+// (what a phase-aware seccomp monitor would observe) must be accepted
+// by the automaton B-Side derives statically. A rejection would mean a
+// phase policy kills a legitimate execution — the phase-level analog of
+// a false negative.
+func TestAutomatonAcceptsDynamicTraces(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		p := corpus.Profile{
+			Name: "trace", Kind: elff.KindStatic,
+			HotDirect:  3 + int(seed%8),
+			HotWrapper: int(seed % 4),
+			HotStack:   int(seed % 3),
+			Handlers:   int(seed % 3),
+			ColdDirect: 4,
+			Filler:     15,
+			Seed:       seed * 1013,
+		}
+		bin, err := corpus.BuildProgram(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		m, err := emu.NewProcess(bin, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := m.Run(2_000_000); err != nil {
+			t.Fatalf("seed %d: emulate: %v", seed, err)
+		}
+
+		g, err := cfg.Recover(bin, cfg.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep, err := ident.Analyze(g, ident.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.FailOpen {
+			continue // no meaningful phases for fail-open binaries
+		}
+		aut, err := Detect(Input{Graph: g, Emits: EmitsFromReport(rep)}, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		if idx := aut.Accepts(m.Trace); idx >= 0 {
+			t.Errorf("seed %d: raw automaton rejected trace at %d (syscall %d, trace %v)",
+				seed, idx, m.Trace[idx], m.Trace)
+		}
+		// Compaction must preserve acceptance (allowed sets only grow).
+		compacted := aut.Compact(128)
+		if idx := compacted.Accepts(m.Trace); idx >= 0 {
+			t.Errorf("seed %d: compacted automaton rejected trace at %d (syscall %d)",
+				seed, idx, m.Trace[idx])
+		}
+	}
+}
+
+// TestAcceptsRejectsForeignTrace sanity-checks the rejecting direction:
+// a syscall never identified anywhere must be rejected immediately.
+func TestAcceptsRejectsForeignTrace(t *testing.T) {
+	bin, err := corpus.BuildProgram(corpus.Profile{
+		Name: "rej", Kind: elff.KindStatic,
+		HotDirect: 3, Filler: 5, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Recover(bin, cfg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ident.Analyze(g, ident.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aut, err := Detect(Input{Graph: g, Emits: EmitsFromReport(rep)}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx := aut.Accepts([]uint64{321 /* bpf: never emitted */}); idx != 0 {
+		t.Fatalf("foreign syscall accepted (idx %d)", idx)
+	}
+}

@@ -1,0 +1,178 @@
+package phases
+
+import "sort"
+
+// Compact merges small single-exit phases into their successors,
+// approximating the paper's aggressive merging of highly-connected
+// states (its published Nginx automaton has 15 phases; raw SCC
+// condensation yields many more). A phase is absorbed when its code
+// size is at most maxBytes and all its non-self transitions lead to a
+// single other phase. Allowed sets only ever grow, so policies derived
+// from the compacted automaton remain sound.
+//
+// The result is renumbered breadth-first from the start phase.
+func (a *Automaton) Compact(maxBytes uint64) *Automaton {
+	n := len(a.Phases)
+	type work struct {
+		blocks  map[uint64]bool
+		size    uint64
+		allowed map[uint64]bool
+		trans   map[int]map[uint64]bool // dest -> syscalls
+		dead    bool
+	}
+	ws := make([]*work, n)
+	for i, ph := range a.Phases {
+		w := &work{
+			blocks:  make(map[uint64]bool, len(ph.Blocks)),
+			size:    ph.CodeSize,
+			allowed: make(map[uint64]bool, len(ph.Allowed)),
+			trans:   make(map[int]map[uint64]bool, len(ph.Transitions)),
+		}
+		for _, b := range ph.Blocks {
+			w.blocks[b] = true
+		}
+		for _, s := range ph.Allowed {
+			w.allowed[s] = true
+		}
+		for dst, syms := range ph.Transitions {
+			set := make(map[uint64]bool, len(syms))
+			for _, s := range syms {
+				set[s] = true
+			}
+			w.trans[dst] = set
+		}
+		ws[i] = w
+	}
+	start := a.Start
+
+	redirect := func(from, to int) {
+		// Rewrite every transition pointing at `from` to point at `to`.
+		for _, w := range ws {
+			if w == nil || w.dead {
+				continue
+			}
+			if set, ok := w.trans[from]; ok {
+				delete(w.trans, from)
+				if w.trans[to] == nil {
+					w.trans[to] = make(map[uint64]bool)
+				}
+				for s := range set {
+					w.trans[to][s] = true
+				}
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for p := 0; p < n; p++ {
+			w := ws[p]
+			if w.dead || w.size > maxBytes {
+				continue
+			}
+			dest := -1
+			multi := false
+			for dst := range w.trans {
+				if dst == p {
+					continue
+				}
+				if dest >= 0 && dst != dest {
+					multi = true
+					break
+				}
+				dest = dst
+			}
+			if multi || dest < 0 || ws[dest].dead {
+				continue
+			}
+			// Absorb p into dest.
+			d := ws[dest]
+			for b := range w.blocks {
+				d.blocks[b] = true
+			}
+			d.size += w.size
+			for s := range w.allowed {
+				d.allowed[s] = true
+			}
+			for dst, set := range w.trans {
+				target := dst
+				if dst == p {
+					target = dest
+				}
+				if d.trans[target] == nil {
+					d.trans[target] = make(map[uint64]bool)
+				}
+				for s := range set {
+					d.trans[target][s] = true
+				}
+			}
+			w.dead = true
+			redirect(p, dest)
+			if start == p {
+				start = dest
+			}
+			changed = true
+		}
+	}
+
+	// Renumber survivors breadth-first from the start.
+	order := make([]int, 0, n)
+	seen := make(map[int]bool)
+	queue := []int{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		order = append(order, p)
+		dests := make([]int, 0, len(ws[p].trans))
+		for dst := range ws[p].trans {
+			dests = append(dests, dst)
+		}
+		sort.Ints(dests)
+		for _, dst := range dests {
+			if !seen[dst] && !ws[dst].dead {
+				seen[dst] = true
+				queue = append(queue, dst)
+			}
+		}
+	}
+	for p := 0; p < n; p++ { // unreachable survivors last
+		if !ws[p].dead && !seen[p] {
+			seen[p] = true
+			order = append(order, p)
+		}
+	}
+	newID := make(map[int]int, len(order))
+	for i, p := range order {
+		newID[p] = i
+	}
+
+	out := &Automaton{
+		Start:     newID[start],
+		Alphabet:  append([]uint64(nil), a.Alphabet...),
+		DFAStates: a.DFAStates,
+		Phases:    make([]*Phase, len(order)),
+	}
+	for i, p := range order {
+		w := ws[p]
+		ph := &Phase{ID: i, CodeSize: w.size, Transitions: make(map[int][]uint64)}
+		for b := range w.blocks {
+			ph.Blocks = append(ph.Blocks, b)
+		}
+		sort.Slice(ph.Blocks, func(x, y int) bool { return ph.Blocks[x] < ph.Blocks[y] })
+		for s := range w.allowed {
+			ph.Allowed = append(ph.Allowed, s)
+		}
+		sort.Slice(ph.Allowed, func(x, y int) bool { return ph.Allowed[x] < ph.Allowed[y] })
+		for dst, set := range w.trans {
+			syms := make([]uint64, 0, len(set))
+			for s := range set {
+				syms = append(syms, s)
+			}
+			sort.Slice(syms, func(x, y int) bool { return syms[x] < syms[y] })
+			ph.Transitions[newID[dst]] = syms
+		}
+		out.Phases[i] = ph
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package phases
+
+import (
+	"reflect"
+	"testing"
+
+	"bside/internal/asm"
+	"bside/internal/x86"
+)
+
+func TestCompactMergesChains(t *testing.T) {
+	// A long init chain of single-syscall phases followed by a serving
+	// loop: compaction should fold the chain while preserving the loop.
+	g, rep, _ := buildGraph(t, func(b *asm.Builder) {
+		b.Func("_start")
+		for _, v := range []uint32{2, 3, 4, 5, 16, 21} {
+			b.MovRegImm32(x86.RAX, v)
+			b.Syscall()
+		}
+		b.Label("loop")
+		b.MovRegImm32(x86.RAX, 0)
+		b.Syscall()
+		b.MovRegImm32(x86.RAX, 1)
+		b.Syscall()
+		b.JmpLabel("loop")
+	})
+	raw := detect(t, g, rep, Config{})
+	compacted := raw.Compact(128)
+
+	if len(compacted.Phases) >= len(raw.Phases) {
+		t.Fatalf("compaction did not shrink: %d -> %d", len(raw.Phases), len(compacted.Phases))
+	}
+	// Soundness: the union of allowed sets must cover everything the
+	// raw automaton allowed.
+	union := func(a *Automaton) map[uint64]bool {
+		m := map[uint64]bool{}
+		for _, ph := range a.Phases {
+			for _, s := range ph.Allowed {
+				m[s] = true
+			}
+		}
+		return m
+	}
+	ru, cu := union(raw), union(compacted)
+	for s := range ru {
+		if !cu[s] {
+			t.Errorf("syscall %d lost in compaction", s)
+		}
+	}
+	// Block coverage must be preserved.
+	blocks := func(a *Automaton) map[uint64]bool {
+		m := map[uint64]bool{}
+		for _, ph := range a.Phases {
+			for _, b := range ph.Blocks {
+				m[b] = true
+			}
+		}
+		return m
+	}
+	rb, cb := blocks(raw), blocks(compacted)
+	for b := range rb {
+		if !cb[b] {
+			t.Errorf("block %#x lost in compaction", b)
+		}
+	}
+	// The serving loop must still exist as a phase allowing {0,1}
+	// (possibly more after merging, but at least those).
+	found := false
+	for _, ph := range compacted.Phases {
+		has0, has1 := false, false
+		for _, s := range ph.Allowed {
+			if s == 0 {
+				has0 = true
+			}
+			if s == 1 {
+				has1 = true
+			}
+		}
+		if has0 && has1 {
+			if _, ok := ph.Transitions[ph.ID]; ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("serving loop phase lost")
+	}
+	// Renumbering: start must be 0 after BFS renumbering.
+	if compacted.Start != 0 {
+		t.Errorf("start = %d, want 0", compacted.Start)
+	}
+	// Transition targets must be valid.
+	for _, ph := range compacted.Phases {
+		for dst := range ph.Transitions {
+			if dst < 0 || dst >= len(compacted.Phases) {
+				t.Fatalf("dangling transition %d -> %d", ph.ID, dst)
+			}
+		}
+	}
+}
+
+func TestCompactIdempotentOnLargePhases(t *testing.T) {
+	g, rep, _ := buildGraph(t, func(b *asm.Builder) {
+		b.Func("_start")
+		b.Label("loop")
+		b.MovRegImm32(x86.RAX, 0)
+		b.Syscall()
+		b.JmpLabel("loop")
+	})
+	raw := detect(t, g, rep, Config{})
+	// Threshold 0 merges nothing (every phase "exceeds" zero bytes
+	// except empty ones).
+	c := raw.Compact(0)
+	var rawAllowed, cAllowed [][]uint64
+	for _, ph := range raw.Phases {
+		rawAllowed = append(rawAllowed, ph.Allowed)
+	}
+	for _, ph := range c.Phases {
+		cAllowed = append(cAllowed, ph.Allowed)
+	}
+	// Phase count can only stay equal (zero-size phases may merge).
+	if len(c.Phases) > len(raw.Phases) {
+		t.Fatalf("compaction grew the automaton")
+	}
+	_ = rawAllowed
+	_ = cAllowed
+	if !reflect.DeepEqual(c.Alphabet, raw.Alphabet) {
+		t.Fatal("alphabet changed")
+	}
+}

@@ -1,0 +1,152 @@
+// Package shared implements step 3 of B-Side's pipeline (§4.5):
+// decoupled analysis of shared libraries into reusable *shared
+// interface* files, dependency ordering through a priority queue, and
+// resolution of a dynamically compiled executable's foreign calls
+// against the interfaces of its (transitive) library dependencies.
+package shared
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"bside/internal/cfg"
+	"bside/internal/elff"
+	"bside/internal/ident"
+	"bside/internal/symex"
+	"bside/internal/x86"
+)
+
+// Param is the JSON form of a wrapper's number-carrying parameter.
+type Param struct {
+	Stack bool   `json:"stack,omitempty"`
+	Reg   string `json:"reg,omitempty"`
+	Off   int64  `json:"off,omitempty"`
+}
+
+func paramFromRef(p symex.ParamRef) Param {
+	if p.Stack {
+		return Param{Stack: true, Off: p.Off}
+	}
+	return Param{Reg: p.Reg.String()}
+}
+
+// Ref converts back to the analyzer's representation.
+func (p Param) Ref() (symex.ParamRef, error) {
+	if p.Stack {
+		return symex.ParamRef{Stack: true, Off: p.Off}, nil
+	}
+	for r := x86.Reg(0); r < x86.NumGPR; r++ {
+		if r.String() == p.Reg {
+			return symex.ParamRef{Reg: r}, nil
+		}
+	}
+	return symex.ParamRef{}, fmt.Errorf("shared: unknown register %q", p.Reg)
+}
+
+// Export is one entry of a library's shared interface.
+type Export struct {
+	Name     string   `json:"name"`
+	Syscalls []uint64 `json:"syscalls,omitempty"`
+	// Wrapper is set when the export is a syscall wrapper whose number
+	// comes from the caller; clients must resolve their call sites.
+	Wrapper *Param `json:"wrapper,omitempty"`
+	// Imports are foreign symbols this export may call.
+	Imports  []string `json:"imports,omitempty"`
+	FailOpen bool     `json:"fail_open,omitempty"`
+}
+
+// Interface is the per-library metadata file (K/L in Figure 3).
+type Interface struct {
+	Library string `json:"library"`
+	// Needed lists the library's own DT_NEEDED dependencies.
+	Needed []string `json:"needed,omitempty"`
+	// Exports describes each exposed function.
+	Exports []Export `json:"exports"`
+	// AddrTaken records the library's active addresses taken.
+	AddrTaken []uint64 `json:"addr_taken,omitempty"`
+	// Wrappers lists wrapper function entry points (informational).
+	Wrappers []uint64 `json:"wrappers,omitempty"`
+}
+
+// ExportNamed returns the interface entry for name.
+func (ifc *Interface) ExportNamed(name string) (*Export, bool) {
+	for i := range ifc.Exports {
+		if ifc.Exports[i].Name == name {
+			return &ifc.Exports[i], true
+		}
+	}
+	return nil, false
+}
+
+// Save writes the interface as JSON.
+func (ifc *Interface) Save(path string) error {
+	data, err := json.MarshalIndent(ifc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shared: marshal %s: %w", ifc.Library, err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadInterface reads a JSON interface file.
+func LoadInterface(path string) (*Interface, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shared: %w", err)
+	}
+	var ifc Interface
+	if err := json.Unmarshal(data, &ifc); err != nil {
+		return nil, fmt.Errorf("shared: parse %s: %w", path, err)
+	}
+	return &ifc, nil
+}
+
+// AnalyzeLibrary performs the expensive once-per-library phase: CFG
+// recovery, wrapper detection and per-site identification, folded into
+// the library's shared interface. importWrappers carries wrapper
+// information for the library's own dependencies (resolved first by the
+// dependency ordering in Analyzer).
+func AnalyzeLibrary(bin *elff.Binary, name string, conf ident.Config, importWrappers map[string]symex.ParamRef) (*Interface, error) {
+	g, err := cfg.Recover(bin, cfg.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("shared: %s: %w", name, err)
+	}
+	conf.ImportWrappers = importWrappers
+	rep, err := ident.Analyze(g, conf)
+	if err != nil {
+		return nil, fmt.Errorf("shared: %s: %w", name, err)
+	}
+	profiles := ident.ExportProfiles(g, rep)
+
+	ifc := &Interface{
+		Library:   name,
+		Needed:    append([]string(nil), bin.Needed...),
+		AddrTaken: append([]uint64(nil), g.ActiveAddrTaken...),
+	}
+	for _, w := range rep.Wrappers {
+		ifc.Wrappers = append(ifc.Wrappers, w.FnEntry)
+	}
+	for _, p := range profiles {
+		e := Export{
+			Name:     p.Name,
+			Syscalls: p.Syscalls,
+			Imports:  p.Imports,
+			FailOpen: p.FailOpen,
+		}
+		// Keep empties nil so the JSON round trip is lossless.
+		if len(e.Syscalls) == 0 {
+			e.Syscalls = nil
+		}
+		if len(e.Imports) == 0 {
+			e.Imports = nil
+		}
+		if p.Wrapper != nil {
+			prm := paramFromRef(*p.Wrapper)
+			e.Wrapper = &prm
+		}
+		ifc.Exports = append(ifc.Exports, e)
+	}
+	sort.Slice(ifc.Exports, func(i, j int) bool { return ifc.Exports[i].Name < ifc.Exports[j].Name })
+	return ifc, nil
+}

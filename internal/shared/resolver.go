@@ -1,0 +1,395 @@
+package shared
+
+import (
+	"container/heap"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"bside/internal/cfg"
+	"bside/internal/elff"
+	"bside/internal/ident"
+	"bside/internal/phases"
+	"bside/internal/symex"
+)
+
+// Analyzer orchestrates the decoupled two-phase analysis: the expensive
+// per-library phase runs once per library (cached as a shared
+// interface), and per-executable analysis resolves foreign symbols
+// against those interfaces.
+type Analyzer struct {
+	// LoadLib maps a DT_NEEDED name to its parsed image.
+	LoadLib func(name string) (*elff.Binary, error)
+	// Config is the identification configuration template. Its Budget,
+	// if set, is shared across everything this Analyzer does; leave nil
+	// to give every module a fresh default budget.
+	Config ident.Config
+	// MaxCFGInsns bounds CFG recovery of the main executable (0 =
+	// cfg.Recover's default); the Table 2 harness uses it to bound
+	// per-binary analysis like the paper's wall-clock timeout.
+	MaxCFGInsns int
+	// InterfaceDir, when set, persists each library's shared interface
+	// as a JSON file (<name>.interface.json) and reuses it on later
+	// runs — the once-per-library artifact of the paper's Figure 3 (L).
+	InterfaceDir string
+
+	interfaces map[string]*Interface
+	exportMemo map[string]exportSet
+}
+
+type exportSet struct {
+	syscalls []uint64
+	failOpen bool
+}
+
+// NewAnalyzer builds an Analyzer around a library loader.
+func NewAnalyzer(load func(name string) (*elff.Binary, error), conf ident.Config) *Analyzer {
+	return &Analyzer{
+		LoadLib:    load,
+		Config:     conf,
+		interfaces: make(map[string]*Interface),
+		exportMemo: make(map[string]exportSet),
+	}
+}
+
+// Interfaces exposes the cached interfaces (after analysis runs).
+func (a *Analyzer) Interfaces() map[string]*Interface { return a.interfaces }
+
+// depItem is a priority-queue element ordered by dependency depth:
+// deepest libraries are analyzed first so that every library sees its
+// dependencies' interfaces (§4.5's DAG-compatible ordering).
+type depItem struct {
+	name  string
+	depth int
+}
+
+type depQueue []depItem
+
+func (q depQueue) Len() int           { return len(q) }
+func (q depQueue) Less(i, j int) bool { return q[i].depth > q[j].depth }
+func (q depQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *depQueue) Push(x any)        { *q = append(*q, x.(depItem)) }
+func (q *depQueue) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// ensureInterfaces analyzes every library in the dependency closure of
+// needed, deepest-first.
+func (a *Analyzer) ensureInterfaces(needed []string) error {
+	depth := make(map[string]int)
+	bins := make(map[string]*elff.Binary)
+	var visit func(name string, d int) error
+	visit = func(name string, d int) error {
+		if prev, ok := depth[name]; ok && prev >= d {
+			return nil
+		}
+		if d > 64 {
+			return fmt.Errorf("shared: dependency cycle or chain too deep at %q", name)
+		}
+		depth[name] = d
+		if _, ok := bins[name]; !ok {
+			bin, err := a.LoadLib(name)
+			if err != nil {
+				return err
+			}
+			bins[name] = bin
+		}
+		for _, sub := range bins[name].Needed {
+			if err := visit(sub, d+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, name := range needed {
+		if err := visit(name, 1); err != nil {
+			return err
+		}
+	}
+
+	q := make(depQueue, 0, len(depth))
+	for name, d := range depth {
+		q = append(q, depItem{name: name, depth: d})
+	}
+	heap.Init(&q)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(depItem)
+		if _, done := a.interfaces[it.name]; done {
+			continue
+		}
+		if ifc, ok := a.loadCachedInterface(it.name); ok {
+			a.interfaces[it.name] = ifc
+			continue
+		}
+		bin := bins[it.name]
+		wrappers, err := a.importWrappersFor(bin)
+		if err != nil {
+			return err
+		}
+		conf := a.Config
+		ifc, err := AnalyzeLibrary(bin, it.name, conf, wrappers)
+		if err != nil {
+			return err
+		}
+		a.interfaces[it.name] = ifc
+		a.storeCachedInterface(ifc)
+	}
+	return nil
+}
+
+func (a *Analyzer) interfacePath(name string) string {
+	return filepath.Join(a.InterfaceDir, name+".interface.json")
+}
+
+func (a *Analyzer) loadCachedInterface(name string) (*Interface, bool) {
+	if a.InterfaceDir == "" {
+		return nil, false
+	}
+	ifc, err := LoadInterface(a.interfacePath(name))
+	if err != nil {
+		return nil, false
+	}
+	return ifc, true
+}
+
+func (a *Analyzer) storeCachedInterface(ifc *Interface) {
+	if a.InterfaceDir == "" {
+		return
+	}
+	// Caching is best-effort; analysis correctness never depends on it.
+	_ = ifc.Save(a.interfacePath(ifc.Library))
+}
+
+// importWrappersFor inspects the interfaces of bin's dependencies and
+// returns the imported symbols that are wrappers.
+func (a *Analyzer) importWrappersFor(bin *elff.Binary) (map[string]symex.ParamRef, error) {
+	out := make(map[string]symex.ParamRef)
+	for _, im := range bin.Imports {
+		ifc, exp := a.findProvider(bin.Needed, im.Name)
+		if ifc == nil || exp.Wrapper == nil {
+			continue
+		}
+		ref, err := exp.Wrapper.Ref()
+		if err != nil {
+			return nil, err
+		}
+		out[im.Name] = ref
+	}
+	return out, nil
+}
+
+// findProvider locates the export named sym: first in the given
+// dependency list's interfaces, then anywhere (global symbol scope).
+func (a *Analyzer) findProvider(needed []string, sym string) (*Interface, *Export) {
+	for _, name := range needed {
+		if ifc, ok := a.interfaces[name]; ok {
+			if exp, ok := ifc.ExportNamed(sym); ok {
+				return ifc, exp
+			}
+		}
+	}
+	names := make([]string, 0, len(a.interfaces))
+	for name := range a.interfaces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if exp, ok := a.interfaces[name].ExportNamed(sym); ok {
+			return a.interfaces[name], exp
+		}
+	}
+	return nil, nil
+}
+
+// closedExportSet computes the transitive syscall set of one export,
+// following its foreign calls through other interfaces.
+func (a *Analyzer) closedExportSet(lib *Interface, exp *Export) exportSet {
+	key := lib.Library + "\x00" + exp.Name
+	if memo, ok := a.exportMemo[key]; ok {
+		return memo
+	}
+	// Seed the memo to cut cycles (mutual recursion between libraries).
+	a.exportMemo[key] = exportSet{}
+
+	set := make(map[uint64]bool)
+	for _, n := range exp.Syscalls {
+		set[n] = true
+	}
+	failOpen := exp.FailOpen
+	for _, sym := range exp.Imports {
+		ifc, sub := a.findProvider(lib.Needed, sym)
+		if ifc == nil {
+			// Unresolvable foreign call: unknowable behaviour.
+			failOpen = true
+			continue
+		}
+		es := a.closedExportSet(ifc, sub)
+		for _, n := range es.syscalls {
+			set[n] = true
+		}
+		failOpen = failOpen || es.failOpen
+	}
+	out := exportSet{syscalls: sortedSet(set), failOpen: failOpen}
+	a.exportMemo[key] = out
+	return out
+}
+
+// ProgramReport is the whole-program identification result.
+type ProgramReport struct {
+	// Syscalls is the final identified set: the main binary's own sites
+	// plus everything reachable through foreign calls.
+	Syscalls []uint64
+	// FailOpen marks an unbounded result; callers must treat the
+	// effective set as the full table.
+	FailOpen bool
+	// Main is the executable's own identification report.
+	Main *ident.Report
+	// PerImport maps each reachable foreign symbol to the syscalls it
+	// contributes.
+	PerImport map[string][]uint64
+	// Graph is the main executable's recovered CFG (phase detection and
+	// diagnostics build on it).
+	Graph *cfg.Graph
+	// CFGTime is the wall-clock cost of the main binary's CFG recovery
+	// (Table 3's dominant column).
+	CFGTime time.Duration
+}
+
+// Emits derives the phase-detection emission map for the program: the
+// main binary's own sites plus, for every block transferring to an
+// imported function (inline GOT calls and calls into PLT-style stubs),
+// that import's resolved syscall set.
+func (r *ProgramReport) Emits() map[uint64][]uint64 {
+	out := phases.EmitsFromReport(r.Main)
+	decorate := func(blk *cfg.Block, sym string) {
+		if set, ok := r.PerImport[sym]; ok && len(set) > 0 {
+			out[blk.Addr] = mergeSets(out[blk.Addr], set)
+		}
+	}
+	for _, blk := range r.Graph.SortedBlocks() {
+		if blk.ImportCall != "" && len(blk.Succs) > 0 {
+			// Inline call through the GOT: the block itself proceeds.
+			decorate(blk, blk.ImportCall)
+			continue
+		}
+		// Calls into an import stub: the transition belongs to the
+		// calling block (the stub has no local successors).
+		for _, e := range blk.Succs {
+			if e.Kind != cfg.EdgeCall && e.Kind != cfg.EdgeIndirectCall {
+				continue
+			}
+			if sym := e.To.ImportCall; sym != "" {
+				decorate(blk, sym)
+			}
+		}
+	}
+	return out
+}
+
+func mergeSets(a, b []uint64) []uint64 {
+	set := make(map[uint64]bool, len(a)+len(b))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		set[v] = true
+	}
+	return sortedSet(set)
+}
+
+// Program analyzes an executable: for static binaries this is plain
+// identification; for dynamic ones, library interfaces are computed (or
+// reused) and foreign calls are folded in.
+func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
+	if err := a.ensureInterfaces(bin.Needed); err != nil {
+		return nil, err
+	}
+
+	conf := a.Config
+	wrappers, err := a.importWrappersFor(bin)
+	if err != nil {
+		return nil, err
+	}
+	conf.ImportWrappers = wrappers
+
+	cfgStart := time.Now()
+	g, err := cfg.Recover(bin, cfg.Options{MaxInsns: a.MaxCFGInsns})
+	cfgTime := time.Since(cfgStart)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ident.Analyze(g, conf)
+	if err != nil {
+		return nil, err
+	}
+
+	set := make(map[uint64]bool)
+	for _, n := range rep.Syscalls {
+		set[n] = true
+	}
+	out := &ProgramReport{
+		Main:      rep,
+		FailOpen:  rep.FailOpen,
+		PerImport: make(map[string][]uint64),
+		Graph:     g,
+		CFGTime:   cfgTime,
+	}
+	for _, sym := range rep.ReachableImports {
+		ifc, exp := a.findProvider(bin.Needed, sym)
+		if ifc == nil {
+			out.FailOpen = true
+			continue
+		}
+		es := a.closedExportSet(ifc, exp)
+		out.PerImport[sym] = es.syscalls
+		out.FailOpen = out.FailOpen || es.failOpen
+		for _, n := range es.syscalls {
+			set[n] = true
+		}
+	}
+	out.Syscalls = sortedSet(set)
+	return out, nil
+}
+
+// Module analyzes a dlopen-style module (paper §4.5: runtime-loaded
+// shared objects are processed alongside the main binary, with module
+// identification left to the user). Every exported function is assumed
+// callable, so the result is the union of all exports' closed syscall
+// sets. A module exporting a syscall wrapper cannot be bounded — its
+// numbers come from callers resolved only at runtime — and makes the
+// result fail-open.
+func (a *Analyzer) Module(bin *elff.Binary, name string) (syscalls []uint64, failOpen bool, err error) {
+	if err := a.ensureInterfaces(bin.Needed); err != nil {
+		return nil, false, err
+	}
+	wrappers, err := a.importWrappersFor(bin)
+	if err != nil {
+		return nil, false, err
+	}
+	conf := a.Config
+	ifc, err := AnalyzeLibrary(bin, "module:"+name, conf, wrappers)
+	if err != nil {
+		return nil, false, err
+	}
+	set := make(map[uint64]bool)
+	for i := range ifc.Exports {
+		exp := &ifc.Exports[i]
+		if exp.Wrapper != nil {
+			failOpen = true
+		}
+		es := a.closedExportSet(ifc, exp)
+		failOpen = failOpen || es.failOpen
+		for _, n := range es.syscalls {
+			set[n] = true
+		}
+	}
+	return sortedSet(set), failOpen, nil
+}
+
+func sortedSet(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

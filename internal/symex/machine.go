@@ -1,0 +1,295 @@
+package symex
+
+import (
+	"bside/internal/cfg"
+	"bside/internal/x86"
+)
+
+// Budget bounds the work one symbolic search may perform. A search that
+// exhausts its budget is reported as inconclusive — the analysis-level
+// analog of the paper's timeouts.
+type Budget struct {
+	MaxSteps  int // instructions executed across all paths
+	MaxForks  int // path splits
+	MaxVisits int // times one path may re-enter the same block
+
+	Steps int
+	Forks int
+}
+
+// NewBudget returns a budget with defaults suitable for whole-binary
+// analysis.
+func NewBudget() *Budget {
+	return &Budget{MaxSteps: 500_000, MaxForks: 8_192, MaxVisits: 3}
+}
+
+// Exhausted reports whether any limit was hit.
+func (b *Budget) Exhausted() bool {
+	return b.Steps >= b.MaxSteps || b.Forks >= b.MaxForks
+}
+
+// Result is the outcome of a directed run.
+type Result struct {
+	// SiteStates holds one state per path that reached the site,
+	// captured immediately before the site's final instruction.
+	SiteStates []*State
+	// HitBudget is set when the search stopped early.
+	HitBudget bool
+	// BlocksExecuted counts block executions (Table 3's "BBs explored").
+	BlocksExecuted int
+}
+
+// Machine executes symbolic paths over a recovered CFG.
+type Machine struct {
+	g           *cfg.Graph
+	budget      *Budget
+	importSlots map[uint64]bool
+}
+
+// NewMachine builds a machine over g sharing the given budget.
+func NewMachine(g *cfg.Graph, budget *Budget) *Machine {
+	if budget == nil {
+		budget = NewBudget()
+	}
+	slots := make(map[uint64]bool, len(g.Bin.Imports))
+	for _, im := range g.Bin.Imports {
+		slots[im.SlotAddr] = true
+	}
+	return &Machine{g: g, budget: budget, importSlots: slots}
+}
+
+// Budget exposes the machine's budget.
+func (m *Machine) Budget() *Budget { return m.budget }
+
+type task struct {
+	blk    *cfg.Block
+	st     *State
+	visits map[uint64]uint16
+}
+
+// RunToSite performs directed forward symbolic execution from start
+// toward site. Only blocks in allowed (plus the site itself) may be
+// entered; calls to functions outside the set are skipped with an
+// ABI-faithful register havoc. The returned states are snapshots taken
+// just before the site block's last instruction (the syscall, or the
+// call into a wrapper).
+func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Block]bool, site *cfg.Block) Result {
+	var res Result
+	inSet := func(b *cfg.Block) bool {
+		return b != nil && (b == site || allowed[b])
+	}
+
+	stack := []task{{blk: start, st: init, visits: make(map[uint64]uint16)}}
+	for len(stack) > 0 {
+		if m.budget.Exhausted() {
+			res.HitBudget = true
+			break
+		}
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		if t.visits[t.blk.Addr] >= uint16(m.budget.MaxVisits) {
+			continue
+		}
+		visits := make(map[uint64]uint16, len(t.visits)+1)
+		for k, v := range t.visits {
+			visits[k] = v
+		}
+		visits[t.blk.Addr]++
+		res.BlocksExecuted++
+
+		st := t.st
+		n := len(t.blk.Insns)
+
+		// Execute the block body (everything but the last instruction).
+		for _, in := range t.blk.Insns[:n-1] {
+			m.step(st, in)
+			m.budget.Steps++
+		}
+		m.budget.Steps++
+
+		if t.blk == site {
+			res.SiteStates = append(res.SiteStates, st)
+			continue
+		}
+
+		// Dispatch on the final instruction.
+		var succs []task
+		push := func(b *cfg.Block, s *State) {
+			succs = append(succs, task{blk: b, st: s, visits: visits})
+		}
+		last := t.blk.Last()
+		switch last.Op {
+		case x86.OpJmp:
+			if to := succOf(t.blk, cfg.EdgeJump); inSet(to) {
+				push(to, st)
+			}
+
+		case x86.OpJcc:
+			to := succOf(t.blk, cfg.EdgeJump)
+			fall := succOf(t.blk, cfg.EdgeFall)
+			if inSet(to) && inSet(fall) {
+				m.budget.Forks++
+				push(fall, st.Clone())
+				push(to, st)
+			} else if inSet(to) {
+				push(to, st)
+			} else if inSet(fall) {
+				push(fall, st)
+			}
+
+		case x86.OpCall:
+			callee := succOf(t.blk, cfg.EdgeCall)
+			fall := succOf(t.blk, cfg.EdgeCallFall)
+			if inSet(callee) {
+				m.pushRet(st, last.Next())
+				push(callee, st)
+			} else if inSet(fall) {
+				st.havocCallerSaved()
+				push(fall, st)
+			}
+
+		case x86.OpCallInd:
+			fall := succOf(t.blk, cfg.EdgeCallFall)
+			if t.blk.ImportCall != "" {
+				if inSet(fall) {
+					st.havocCallerSaved()
+					push(fall, st)
+				}
+				break
+			}
+			tv := m.evalOperand(st, last, last.Dst)
+			if k, ok := tv.IsConst(); ok {
+				if to, found := m.g.BlockAt(k); found && inSet(to) {
+					m.pushRet(st, last.Next())
+					push(to, st)
+					break
+				}
+				if inSet(fall) {
+					st.havocCallerSaved()
+					push(fall, st)
+				}
+				break
+			}
+			// Symbolic target: fork into each allowed heuristic target
+			// and also the skip-the-call continuation.
+			for _, e := range t.blk.Succs {
+				if e.Kind != cfg.EdgeIndirectCall || !inSet(e.To) {
+					continue
+				}
+				s2 := st.Clone()
+				m.pushRet(s2, last.Next())
+				m.budget.Forks++
+				push(e.To, s2)
+			}
+			if inSet(fall) {
+				st.havocCallerSaved()
+				push(fall, st)
+			}
+
+		case x86.OpJmpInd:
+			if t.blk.ImportCall != "" {
+				// Import stub: model call-and-return through the
+				// external function.
+				st.havocCallerSaved()
+				if to, ok := m.popRetTarget(st); ok && inSet(to) {
+					push(to, st)
+				}
+				break
+			}
+			tv := m.evalOperand(st, last, last.Dst)
+			if k, ok := tv.IsConst(); ok {
+				if to, found := m.g.BlockAt(k); found && inSet(to) {
+					push(to, st)
+				}
+				break
+			}
+			for _, e := range t.blk.Succs {
+				if e.Kind != cfg.EdgeIndirectJump || !inSet(e.To) {
+					continue
+				}
+				m.budget.Forks++
+				push(e.To, st.Clone())
+			}
+
+		case x86.OpRet:
+			if to, ok := m.popRetTarget(st); ok && inSet(to) {
+				push(to, st)
+			}
+
+		case x86.OpSyscall:
+			// A syscall on the way to the site: clobber per the ABI.
+			st.SetReg(x86.RAX, Unknown())
+			st.SetReg(x86.RCX, Unknown())
+			st.SetReg(x86.R11, Unknown())
+			if fall := succOf(t.blk, cfg.EdgeFall); inSet(fall) {
+				push(fall, st)
+			}
+
+		default:
+			// Plain fall-through boundary: the last instruction is an
+			// ordinary one; apply it and continue.
+			m.step(st, last)
+			if fall := succOf(t.blk, cfg.EdgeFall); inSet(fall) {
+				push(fall, st)
+			}
+		}
+		stack = append(stack, succs...)
+	}
+	return res
+}
+
+func succOf(b *cfg.Block, kind cfg.EdgeKind) *cfg.Block {
+	for _, e := range b.Succs {
+		if e.Kind == kind {
+			return e.To
+		}
+	}
+	return nil
+}
+
+// pushRet pushes a concrete return address.
+func (m *Machine) pushRet(st *State, ret uint64) {
+	rsp := st.Reg(x86.RSP)
+	if rsp.Kind != KStackPtr {
+		return
+	}
+	off := rsp.StackOff() - 8
+	st.SetReg(x86.RSP, StackPtr(off))
+	st.StoreStack(off, Const(ret))
+}
+
+// popRetTarget pops the return address and resolves its block.
+func (m *Machine) popRetTarget(st *State) (*cfg.Block, bool) {
+	rsp := st.Reg(x86.RSP)
+	if rsp.Kind != KStackPtr {
+		return nil, false
+	}
+	v := st.LoadStack(rsp.StackOff())
+	st.SetReg(x86.RSP, StackPtr(rsp.StackOff()+8))
+	k, ok := v.IsConst()
+	if !ok {
+		return nil, false
+	}
+	return m.blockAt(k)
+}
+
+func (m *Machine) blockAt(addr uint64) (*cfg.Block, bool) {
+	b, ok := m.g.BlockAt(addr)
+	return b, ok
+}
+
+// ParamValueAtCall reads the value the callee will observe for parameter
+// p, given the state captured at the call instruction.
+func ParamValueAtCall(st *State, p ParamRef) Value {
+	if !p.Stack {
+		return st.Reg(p.Reg)
+	}
+	rsp := st.Reg(x86.RSP)
+	if rsp.Kind != KStackPtr {
+		return Unknown()
+	}
+	// The callee sees its stack parameters above the return address the
+	// call is about to push: callee [rsp+off] == caller [rsp+off-8].
+	return st.LoadStack(rsp.StackOff() + p.Off - 8)
+}

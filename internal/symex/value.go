@@ -1,0 +1,172 @@
+// Package symex implements the symbolic execution engine behind
+// B-Side's system-call identification (§4.4 of the paper): a forward,
+// CFG-directed executor over decoded x86-64 whose value domain tracks
+// concrete constants, abstract stack pointers, tagged function
+// parameters, and taint-carrying unknowns. Constants survive round
+// trips through stack memory — the property that lets B-Side identify
+// system call numbers where use-define-chain tools (SysFilter) and
+// register-window scanners (Chestnut) lose them.
+package symex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bside/internal/x86"
+)
+
+// Kind discriminates symbolic values.
+type Kind uint8
+
+// Value kinds.
+const (
+	// KUnknown is an opaque value, possibly tainted by parameters.
+	KUnknown Kind = iota
+	// KConst is a concrete 64-bit constant.
+	KConst
+	// KStackPtr is an address into the abstract stack: base + offset.
+	KStackPtr
+	// KParam is an unmodified function parameter (register or stack
+	// slot), used by the wrapper-detection heuristic.
+	KParam
+)
+
+// ParamRef names a function parameter in the System V sense: either one
+// of the argument registers, or a stack slot at a positive offset from
+// the entry stack pointer (offset 8 is the first qword above the return
+// address).
+type ParamRef struct {
+	Stack bool
+	Reg   x86.Reg
+	Off   int64
+}
+
+// String renders the parameter reference.
+func (p ParamRef) String() string {
+	if p.Stack {
+		return fmt.Sprintf("arg[rsp+%d]", p.Off)
+	}
+	return "arg:" + p.Reg.String()
+}
+
+// Value is a symbolic value. The zero value is an untainted unknown.
+type Value struct {
+	Kind Kind
+	K    uint64 // constant bits (KConst) or stack offset as int64 (KStackPtr)
+	P    ParamRef
+	// Taint lists the parameters that influenced a KUnknown value (or,
+	// for KParam, is implicitly {P}). Kept sorted and deduplicated.
+	Taint []ParamRef
+}
+
+// Const builds a concrete value.
+func Const(v uint64) Value { return Value{Kind: KConst, K: v} }
+
+// StackPtr builds an abstract stack address at the given offset from
+// the state's stack base.
+func StackPtr(off int64) Value { return Value{Kind: KStackPtr, K: uint64(off)} }
+
+// Param builds a parameter value.
+func Param(p ParamRef) Value { return Value{Kind: KParam, P: p} }
+
+// Unknown is an untainted opaque value.
+func Unknown() Value { return Value{} }
+
+// IsConst reports whether v is concrete, returning its bits.
+func (v Value) IsConst() (uint64, bool) {
+	if v.Kind == KConst {
+		return v.K, true
+	}
+	return 0, false
+}
+
+// StackOff returns the stack offset of a KStackPtr value.
+func (v Value) StackOff() int64 { return int64(v.K) }
+
+// AllTaint returns the parameters influencing v (for KParam, the
+// parameter itself).
+func (v Value) AllTaint() []ParamRef {
+	if v.Kind == KParam {
+		return []ParamRef{v.P}
+	}
+	return v.Taint
+}
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.Kind {
+	case KConst:
+		return fmt.Sprintf("%#x", v.K)
+	case KStackPtr:
+		return fmt.Sprintf("stack%+d", v.StackOff())
+	case KParam:
+		return v.P.String()
+	default:
+		if len(v.Taint) == 0 {
+			return "?"
+		}
+		parts := make([]string, len(v.Taint))
+		for i, p := range v.Taint {
+			parts[i] = p.String()
+		}
+		return "?{" + strings.Join(parts, ",") + "}"
+	}
+}
+
+// taintedUnknown builds an unknown influenced by the taints of the given
+// values.
+func taintedUnknown(vs ...Value) Value {
+	var taint []ParamRef
+	for _, v := range vs {
+		taint = append(taint, v.AllTaint()...)
+	}
+	return Value{Kind: KUnknown, Taint: dedupParams(taint)}
+}
+
+func dedupParams(ps []ParamRef) []ParamRef {
+	if len(ps) <= 1 {
+		return ps
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Stack != ps[j].Stack {
+			return !ps[i].Stack
+		}
+		if ps[i].Reg != ps[j].Reg {
+			return ps[i].Reg < ps[j].Reg
+		}
+		return ps[i].Off < ps[j].Off
+	})
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// truncate masks a value to the given operand size, modelling the
+// zero-extension of 32-bit destinations. Non-constants keep their
+// identity for sizes >= 4 (the analysis only needs low-32-bit
+// precision); narrower writes degrade to tainted unknowns.
+func truncate(v Value, size uint8) Value {
+	switch size {
+	case 8:
+		return v
+	case 4:
+		if k, ok := v.IsConst(); ok {
+			return Const(k & 0xFFFFFFFF)
+		}
+		if v.Kind == KParam || v.Kind == KUnknown {
+			return v
+		}
+		return taintedUnknown(v)
+	default:
+		if k, ok := v.IsConst(); ok {
+			mask := uint64(1)<<(8*uint(size)) - 1
+			return Const(k & mask)
+		}
+		return taintedUnknown(v)
+	}
+}

@@ -1,0 +1,220 @@
+// Package usedef implements a classic intra-procedural use-define chain
+// analysis over registers. It deliberately does not track values through
+// memory: that limitation is exactly what the paper identifies as the
+// precision/soundness gap of SysFilter-style identification (§2.4), and
+// it is what makes this analysis a cheap *first phase* for B-Side's
+// wrapper-detection heuristic (§4.4) — a negative answer here means the
+// syscall number may come from outside the function.
+package usedef
+
+import (
+	"sort"
+
+	"bside/internal/cfg"
+	"bside/internal/x86"
+)
+
+// maxVisits bounds the (block, register) pairs explored per query.
+const maxVisits = 4_096
+
+// Request asks for the possible constant values of Reg immediately
+// before executing instruction InsnIdx of Block, staying within Fn.
+type Request struct {
+	Fn      *cfg.Func
+	Block   *cfg.Block
+	InsnIdx int // resolve the value before this instruction
+	Reg     x86.Reg
+}
+
+type visitKey struct {
+	addr uint64
+	reg  x86.Reg
+}
+
+type resolver struct {
+	fn      *cfg.Func
+	inFn    map[*cfg.Block]bool
+	visited map[visitKey]bool
+	budget  int
+}
+
+// Resolve walks use-define chains backward and returns the sorted set
+// of constants Reg may hold at the requested point. ok is false when
+// any chain escapes the supported domain (memory operands, partial
+// writes, clobbering calls, values flowing in from callers).
+func Resolve(req Request) (vals []uint64, ok bool) {
+	r := &resolver{
+		fn:      req.Fn,
+		inFn:    make(map[*cfg.Block]bool, len(req.Fn.Blocks)),
+		visited: make(map[visitKey]bool),
+		budget:  maxVisits,
+	}
+	for _, b := range req.Fn.Blocks {
+		r.inFn[b] = true
+	}
+	set := make(map[uint64]bool)
+	if !r.resolveAt(req.Block, req.InsnIdx, req.Reg, set) {
+		return nil, false
+	}
+	vals = make([]uint64, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals, true
+}
+
+// resolveAt scans backward from instruction idx (exclusive) in blk.
+func (r *resolver) resolveAt(blk *cfg.Block, idx int, reg x86.Reg, out map[uint64]bool) bool {
+	r.budget--
+	if r.budget < 0 {
+		return false
+	}
+	for i := idx - 1; i >= 0; i-- {
+		in := blk.Insns[i]
+		switch in.Op {
+		case x86.OpSyscall:
+			if reg == x86.RAX || reg == x86.RCX || reg == x86.R11 {
+				return false
+			}
+			continue
+		case x86.OpCall, x86.OpCallInd:
+			if reg.IsCallerSaved() {
+				return false
+			}
+			continue
+		}
+		if !writesReg(in, reg) {
+			continue
+		}
+		if in.OpSize < 4 {
+			return false // partial register write: out of domain
+		}
+		// Found the defining instruction; interpret it.
+		switch in.Op {
+		case x86.OpMov:
+			switch in.Src.Kind {
+			case x86.KindImm:
+				if in.OpSize < 4 {
+					return false
+				}
+				out[uint64(in.Src.Imm)] = true
+				return true
+			case x86.KindReg:
+				return r.resolveAt(blk, i, in.Src.Reg, out)
+			default:
+				return false // memory operand: out of domain
+			}
+		case x86.OpXor:
+			if in.Src.Kind == x86.KindReg && in.Src.Reg == reg {
+				out[0] = true
+				return true
+			}
+			return r.transform(blk, i, reg, in, out)
+		case x86.OpAdd, x86.OpSub, x86.OpAnd, x86.OpOr, x86.OpShl, x86.OpShr:
+			return r.transform(blk, i, reg, in, out)
+		case x86.OpInc, x86.OpDec:
+			sub := make(map[uint64]bool)
+			if !r.resolveAt(blk, i, reg, sub) {
+				return false
+			}
+			for v := range sub {
+				if in.Op == x86.OpInc {
+					out[v+1] = true
+				} else {
+					out[v-1] = true
+				}
+			}
+			return true
+		case x86.OpLea:
+			if ea, ok := in.MemEA(in.Src); ok {
+				out[ea] = true
+				return true
+			}
+			return false
+		default:
+			// pop, movzx with memory, partial writes, ...
+			return false
+		}
+	}
+
+	// Reached the block head without a definition.
+	if blk.Addr == r.fn.Entry {
+		// The value flows in from the caller: out of the
+		// intra-procedural domain. This is the signal wrapper
+		// detection's phase 1 looks for.
+		return false
+	}
+	key := visitKey{addr: blk.Addr, reg: reg}
+	if r.visited[key] {
+		return true // loop back-edge: values join from elsewhere
+	}
+	r.visited[key] = true
+
+	any := false
+	for _, e := range blk.Preds {
+		switch e.Kind {
+		case cfg.EdgeFall, cfg.EdgeJump, cfg.EdgeCallFall:
+		default:
+			continue
+		}
+		if !r.inFn[e.From] {
+			continue
+		}
+		any = true
+		if !r.resolveAt(e.From, len(e.From.Insns), reg, out) {
+			return false
+		}
+	}
+	// A block with no intra-function predecessors that is not the entry
+	// is typically an indirect-call target; its inputs are unknown.
+	return any
+}
+
+// transform applies an ALU instruction with an immediate operand to the
+// recursively-resolved prior values.
+func (r *resolver) transform(blk *cfg.Block, i int, reg x86.Reg, in x86.Inst, out map[uint64]bool) bool {
+	if in.Src.Kind != x86.KindImm {
+		return false
+	}
+	imm := uint64(in.Src.Imm)
+	sub := make(map[uint64]bool)
+	if !r.resolveAt(blk, i, reg, sub) {
+		return false
+	}
+	for v := range sub {
+		switch in.Op {
+		case x86.OpAdd:
+			out[v+imm] = true
+		case x86.OpSub:
+			out[v-imm] = true
+		case x86.OpAnd:
+			out[v&imm] = true
+		case x86.OpOr:
+			out[v|imm] = true
+		case x86.OpXor:
+			out[v^imm] = true
+		case x86.OpShl:
+			out[v<<(imm&63)] = true
+		case x86.OpShr:
+			out[v>>(imm&63)] = true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// writesReg reports whether in's destination is exactly the full (or
+// zero-extending 32-bit) register reg.
+func writesReg(in x86.Inst, reg x86.Reg) bool {
+	switch in.Op {
+	case x86.OpMov, x86.OpMovzx, x86.OpMovsx, x86.OpMovsxd, x86.OpLea,
+		x86.OpXor, x86.OpAdd, x86.OpSub, x86.OpAnd, x86.OpOr,
+		x86.OpShl, x86.OpShr, x86.OpInc, x86.OpDec, x86.OpPop:
+		return in.Dst.Kind == x86.KindReg && in.Dst.Reg == reg
+	case x86.OpCdqe:
+		return reg == x86.RAX
+	}
+	return false
+}

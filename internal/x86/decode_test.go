@@ -1,0 +1,181 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeKnownBytes checks hand-verified encodings against the
+// decoder (spot checks independent of our own assembler).
+func TestDecodeKnownBytes(t *testing.T) {
+	cases := []struct {
+		name  string
+		bytes []byte
+		want  string
+	}{
+		{"syscall", []byte{0x0F, 0x05}, "syscall"},
+		{"mov eax, 60", []byte{0xB8, 0x3C, 0, 0, 0}, "mov"},
+		{"xor edi,edi", []byte{0x31, 0xFF}, "xor"},
+		{"mov rax,rdi", []byte{0x48, 0x89, 0xF8}, "mov"},
+		{"mov rax,[rsp+8]", []byte{0x48, 0x8B, 0x44, 0x24, 0x08}, "mov"},
+		{"lea rsi,[rip+0x10]", []byte{0x48, 0x8D, 0x35, 0x10, 0, 0, 0}, "lea"},
+		{"call rel32", []byte{0xE8, 0x10, 0, 0, 0}, "call"},
+		{"ret", []byte{0xC3}, "ret"},
+		{"push rbp", []byte{0x55}, "push"},
+		{"endbr64", []byte{0xF3, 0x0F, 0x1E, 0xFA}, "endbr64"},
+		{"jne rel8", []byte{0x75, 0x02}, "j"},
+		{"nopw 0F1F", []byte{0x66, 0x0F, 0x1F, 0x44, 0x00, 0x00}, "nop"},
+	}
+	for _, tc := range cases {
+		inst, err := Decode(tc.bytes, 0x1000)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if int(inst.Len) != len(tc.bytes) {
+			t.Errorf("%s: len %d want %d", tc.name, inst.Len, len(tc.bytes))
+		}
+		if inst.Op.String()[:1] != tc.want[:1] {
+			t.Errorf("%s: got %v", tc.name, inst)
+		}
+	}
+}
+
+func TestDecodeOperandDetails(t *testing.T) {
+	// mov rax, [rsp+8]
+	inst, err := Decode([]byte{0x48, 0x8B, 0x44, 0x24, 0x08}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Dst.Reg != RAX || inst.Src.Mem.Base != RSP || inst.Src.Mem.Disp != 8 || inst.OpSize != 8 {
+		t.Fatalf("got %v", inst)
+	}
+
+	// mov eax, 1 — zero extension semantics flagged via OpSize 4.
+	inst, err = Decode([]byte{0xB8, 0x01, 0, 0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.OpSize != 4 || inst.Src.Imm != 1 {
+		t.Fatalf("got %v size=%d", inst, inst.OpSize)
+	}
+
+	// jcc target arithmetic: 75 FE at 0x100 -> jne 0x100.
+	inst, err = Decode([]byte{0x75, 0xFE}, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt, ok := inst.BranchTarget(); !ok || tgt != 0x100 {
+		t.Fatalf("target %#x", tgt)
+	}
+
+	// call -5 at 0: E8 FB FF FF FF -> target 0.
+	inst, err = Decode([]byte{0xE8, 0xFB, 0xFF, 0xFF, 0xFF}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt, _ := inst.BranchTarget(); tgt != 0 {
+		t.Fatalf("target %#x", tgt)
+	}
+
+	// RIP-relative EA: lea rsi, [rip+0x10] at 0x2000, len 7 -> 0x2017.
+	inst, err = Decode([]byte{0x48, 0x8D, 0x35, 0x10, 0, 0, 0}, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea, ok := inst.MemEA(inst.Src); !ok || ea != 0x2017 {
+		t.Fatalf("EA %#x", ea)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil, 0); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := Decode([]byte{0x48}, 0); err == nil {
+		t.Fatal("lone REX must error")
+	}
+	if _, err := Decode([]byte{0xE8, 0x01}, 0); err == nil {
+		t.Fatal("truncated call must error")
+	}
+	// An opcode outside the subset.
+	if _, err := Decode([]byte{0xD9, 0xC0}, 0); err == nil {
+		t.Fatal("x87 opcode must be unsupported")
+	}
+}
+
+// TestDecodeRandomNeverPanics hammers the decoder with random bytes; it
+// must return errors, never panic, and never report a length beyond the
+// input.
+func TestDecodeRandomNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	buf := make([]byte, 16)
+	for i := 0; i < 50000; i++ {
+		n := 1 + rng.Intn(15)
+		for j := 0; j < n; j++ {
+			buf[j] = byte(rng.Intn(256))
+		}
+		inst, err := Decode(buf[:n], uint64(i))
+		if err != nil {
+			continue
+		}
+		if int(inst.Len) > n || inst.Len == 0 {
+			t.Fatalf("bad length %d for %x", inst.Len, buf[:n])
+		}
+	}
+}
+
+func TestTerminatorsAndCalls(t *testing.T) {
+	term := []Op{OpJmp, OpJmpInd, OpJcc, OpRet, OpUd2, OpHlt, OpInt3}
+	for _, op := range term {
+		if !(Inst{Op: op}).IsTerminator() {
+			t.Errorf("%v must terminate a block", op)
+		}
+	}
+	if (Inst{Op: OpCall}).IsTerminator() {
+		t.Error("call must not terminate a block")
+	}
+	if !(Inst{Op: OpCall}).IsCall() || !(Inst{Op: OpCallInd}).IsCall() {
+		t.Error("call ops must report IsCall")
+	}
+	if (Inst{Op: OpSyscall}).IsCall() {
+		t.Error("syscall is not a call")
+	}
+}
+
+func TestRegisterProperties(t *testing.T) {
+	callerSaved := map[Reg]bool{RAX: true, RCX: true, RDX: true, RSI: true, RDI: true,
+		R8: true, R9: true, R10: true, R11: true}
+	for r := Reg(0); r < NumGPR; r++ {
+		if got := r.IsCallerSaved(); got != callerSaved[r] {
+			t.Errorf("%v caller-saved = %v", r, got)
+		}
+		if !r.Valid() {
+			t.Errorf("%v must be valid", r)
+		}
+	}
+	if RIP.Valid() || RegNone.Valid() {
+		t.Error("pseudo registers must be invalid")
+	}
+	if ParamRegs != [6]Reg{RDI, RSI, RDX, RCX, R8, R9} {
+		t.Error("SysV parameter order")
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	inst, err := Decode([]byte{0x48, 0x8B, 0x44, 0x24, 0x08}, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inst.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	m := Mem{Base: RAX, Index: RCX, Scale: 4, Disp: -8}
+	if m.String() == "" {
+		t.Fatal("empty Mem string")
+	}
+	if (Mem{Base: RegNone, Index: RegNone, Disp: 0}).String() != "[0x0]" {
+		t.Fatalf("abs mem: %s", (Mem{Base: RegNone, Index: RegNone}).String())
+	}
+}

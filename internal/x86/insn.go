@@ -1,0 +1,278 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates the operations the decoder understands.
+type Op uint8
+
+// Supported operations.
+const (
+	OpInvalid Op = iota
+	OpMov
+	OpMovzx
+	OpMovsx
+	OpMovsxd
+	OpLea
+	OpXor
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpCmp
+	OpTest
+	OpShl
+	OpShr
+	OpInc
+	OpDec
+	OpPush
+	OpPop
+	OpCall    // direct near call, target in Dst (immediate absolute address)
+	OpCallInd // indirect call through register or memory
+	OpJmp     // direct jump
+	OpJmpInd  // indirect jump
+	OpJcc     // conditional jump, condition in Cond
+	OpRet
+	OpLeave
+	OpSyscall
+	OpNop
+	OpEndbr64
+	OpUd2
+	OpInt3
+	OpHlt
+	OpCdqe
+)
+
+var opNames = [...]string{
+	OpInvalid: "(invalid)",
+	OpMov:     "mov",
+	OpMovzx:   "movzx",
+	OpMovsx:   "movsx",
+	OpMovsxd:  "movsxd",
+	OpLea:     "lea",
+	OpXor:     "xor",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpCmp:     "cmp",
+	OpTest:    "test",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpInc:     "inc",
+	OpDec:     "dec",
+	OpPush:    "push",
+	OpPop:     "pop",
+	OpCall:    "call",
+	OpCallInd: "call",
+	OpJmp:     "jmp",
+	OpJmpInd:  "jmp",
+	OpJcc:     "j",
+	OpRet:     "ret",
+	OpLeave:   "leave",
+	OpSyscall: "syscall",
+	OpNop:     "nop",
+	OpEndbr64: "endbr64",
+	OpUd2:     "ud2",
+	OpInt3:    "int3",
+	OpHlt:     "hlt",
+	OpCdqe:    "cdqe",
+}
+
+// String returns the mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cond enumerates condition codes for Jcc, in hardware encoding order
+// (the low nibble of the 0F 8x opcode).
+type Cond uint8
+
+// Condition codes.
+const (
+	CondO  Cond = 0x0 // overflow
+	CondNO Cond = 0x1
+	CondB  Cond = 0x2 // below (unsigned <)
+	CondAE Cond = 0x3
+	CondE  Cond = 0x4 // equal / zero
+	CondNE Cond = 0x5
+	CondBE Cond = 0x6
+	CondA  Cond = 0x7
+	CondS  Cond = 0x8 // sign
+	CondNS Cond = 0x9
+	CondP  Cond = 0xA
+	CondNP Cond = 0xB
+	CondL  Cond = 0xC // less (signed <)
+	CondGE Cond = 0xD
+	CondLE Cond = 0xE
+	CondG  Cond = 0xF
+)
+
+var condNames = [...]string{
+	CondO: "o", CondNO: "no", CondB: "b", CondAE: "ae",
+	CondE: "e", CondNE: "ne", CondBE: "be", CondA: "a",
+	CondS: "s", CondNS: "ns", CondP: "p", CondNP: "np",
+	CondL: "l", CondGE: "ge", CondLE: "le", CondG: "g",
+}
+
+// String returns the condition suffix ("e", "ne", ...).
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cc(%d)", uint8(c))
+}
+
+// OperandKind discriminates the Operand union.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KindNone OperandKind = iota
+	KindReg
+	KindImm
+	KindMem
+)
+
+// Mem describes a memory operand: [Base + Index*Scale + Disp], or a
+// RIP-relative reference when Base == RIP (the effective address is then
+// the address of the following instruction plus Disp).
+type Mem struct {
+	Base  Reg
+	Index Reg
+	Scale uint8 // 1, 2, 4 or 8; meaningful only when Index != RegNone
+	Disp  int32
+}
+
+// IsRIPRel reports whether the operand is RIP-relative.
+func (m Mem) IsRIPRel() bool { return m.Base == RIP }
+
+// String renders the memory operand in Intel-like syntax.
+func (m Mem) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	wrote := false
+	if m.Base != RegNone {
+		b.WriteString(m.Base.String())
+		wrote = true
+	}
+	if m.Index != RegNone {
+		if wrote {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%s*%d", m.Index, m.Scale)
+		wrote = true
+	}
+	if m.Disp != 0 || !wrote {
+		if wrote && m.Disp >= 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%#x", m.Disp)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Operand is a single instruction operand.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg
+	Imm  int64
+	Mem  Mem
+}
+
+// RegOp builds a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// ImmOp builds an immediate operand.
+func ImmOp(v int64) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// MemOp builds a memory operand.
+func MemOp(m Mem) Operand { return Operand{Kind: KindMem, Mem: m} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindReg:
+		return o.Reg.String()
+	case KindImm:
+		return fmt.Sprintf("%#x", o.Imm)
+	case KindMem:
+		return o.Mem.String()
+	default:
+		return "<none>"
+	}
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Addr   uint64 // virtual address of the first byte
+	Len    uint8  // encoded length in bytes
+	Op     Op
+	Cond   Cond    // valid when Op == OpJcc
+	Dst    Operand // first operand (destination for two-operand forms)
+	Src    Operand // second operand
+	OpSize uint8   // effective operand size in bytes: 1, 2, 4 or 8
+}
+
+// Next returns the address of the instruction following i.
+func (i Inst) Next() uint64 { return i.Addr + uint64(i.Len) }
+
+// BranchTarget returns the absolute target of a direct call/jmp/jcc and
+// true, or 0 and false for any other instruction.
+func (i Inst) BranchTarget() (uint64, bool) {
+	switch i.Op {
+	case OpCall, OpJmp, OpJcc:
+		return uint64(i.Dst.Imm), true
+	}
+	return 0, false
+}
+
+// MemEA returns the concrete effective address of a RIP-relative memory
+// operand and true; for all other operand shapes it returns false.
+func (i Inst) MemEA(o Operand) (uint64, bool) {
+	if o.Kind != KindMem || !o.Mem.IsRIPRel() {
+		return 0, false
+	}
+	return i.Next() + uint64(int64(o.Mem.Disp)), true
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (i Inst) IsTerminator() bool {
+	switch i.Op {
+	case OpJmp, OpJmpInd, OpJcc, OpRet, OpUd2, OpHlt, OpInt3:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction is a direct or indirect call.
+func (i Inst) IsCall() bool { return i.Op == OpCall || i.Op == OpCallInd }
+
+// String renders the instruction in Intel-like syntax.
+func (i Inst) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%#08x: ", i.Addr)
+	switch i.Op {
+	case OpJcc:
+		fmt.Fprintf(&b, "j%s %#x", i.Cond, i.Dst.Imm)
+	case OpCall, OpJmp:
+		fmt.Fprintf(&b, "%s %#x", i.Op, i.Dst.Imm)
+	default:
+		b.WriteString(i.Op.String())
+		if i.Dst.Kind != KindNone {
+			b.WriteByte(' ')
+			b.WriteString(i.Dst.String())
+		}
+		if i.Src.Kind != KindNone {
+			b.WriteString(", ")
+			b.WriteString(i.Src.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package bside
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bside/internal/asm"
+	"bside/internal/elff"
+	"bside/internal/testbin"
+	"bside/internal/x86"
+)
+
+// TestDlopenModules checks §4.5's runtime-module handling: modules
+// named by the user are analyzed alongside the main binary and their
+// exports' syscalls union into the result.
+func TestDlopenModules(t *testing.T) {
+	dir := t.TempDir()
+
+	main, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+	}, nil)
+	mainPath := filepath.Join(dir, "main")
+	mustWrite(t, main, mainPath)
+
+	// A module exporting a handler that calls epoll_wait(232).
+	module, _ := testbin.BuildAt(t, elff.KindShared, 0x7F0500000000, func(b *asm.Builder) {
+		b.Func("mod_handler")
+		b.MovRegImm32(x86.RAX, 232)
+		b.Syscall()
+		b.Ret()
+	}, func(spec *elff.Spec, syms map[string]uint64) {
+		spec.Exports = []elff.Export{{Name: "mod_handler", Addr: syms["mod_handler"]}}
+	})
+	modPath := filepath.Join(dir, "ngx_module.so")
+	mustWrite(t, module, modPath)
+
+	// Without the module: only exit.
+	plain, err := NewAnalyzer(Options{}).AnalyzeFile(mainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Has(232) {
+		t.Fatal("module syscall leaked into plain analysis")
+	}
+
+	// With the module: union includes epoll_wait.
+	withMod, err := NewAnalyzer(Options{Modules: []string{modPath}}).AnalyzeFile(mainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !withMod.Has(232) || !withMod.Has(60) {
+		t.Fatalf("module union: %v", withMod.Syscalls)
+	}
+	if withMod.FailOpen {
+		t.Fatal("unexpected fail-open")
+	}
+}
+
+// TestDlopenModuleWrapperFailsOpen: a module exporting a syscall
+// wrapper cannot be bounded statically.
+func TestDlopenModuleWrapperFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	main, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+	}, nil)
+	mainPath := filepath.Join(dir, "main")
+	mustWrite(t, main, mainPath)
+
+	module, _ := testbin.BuildAt(t, elff.KindShared, 0x7F0600000000, func(b *asm.Builder) {
+		b.Func("do_raw_syscall")
+		b.MovRegReg(x86.RAX, x86.RDI)
+		b.Syscall()
+		b.Ret()
+	}, func(spec *elff.Spec, syms map[string]uint64) {
+		spec.Exports = []elff.Export{{Name: "do_raw_syscall", Addr: syms["do_raw_syscall"]}}
+	})
+	modPath := filepath.Join(dir, "wrap_module.so")
+	mustWrite(t, module, modPath)
+
+	res, err := NewAnalyzer(Options{Modules: []string{modPath}}).AnalyzeFile(mainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FailOpen {
+		t.Fatal("wrapper-exporting module must fail open")
+	}
+}
+
+func mustWrite(t *testing.T, bin *elff.Binary, path string) {
+	t.Helper()
+	if err := bin.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
