@@ -1,0 +1,36 @@
+# Local and CI entry points. The CI workflow calls these same targets,
+# so the two invocations cannot drift.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench
+
+all: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs reformatting, printing the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent paths: the shared-interface
+# analyzer, the on-disk cache, and the public batch API.
+race:
+	$(GO) test -race ./internal/cache/... ./internal/shared/... .
+
+# One-iteration benchmark smoke run; CI uploads the output as the
+# BENCH trajectory's source of truth.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -10,6 +10,9 @@ package bside
 // analysis, not the generation.
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -196,6 +199,125 @@ func ablationInput(b *testing.B) phases.Input {
 		}
 	}
 	return phases.Input{Graph: nginx.Report.Graph, Emits: nginx.Report.Emits()}
+}
+
+// --- batch analysis: worker pool + persistent cache ---------------------
+
+// writeBatchCorpus materializes the six corpus applications (which all
+// share libc.so.6) and their libraries on disk for AnalyzeAll runs.
+func writeBatchCorpus(b *testing.B) (paths []string, libDir string) {
+	b.Helper()
+	benchSetup(b)
+	dir := b.TempDir()
+	libDir = filepath.Join(dir, "libs")
+	if err := os.MkdirAll(libDir, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	for name, lib := range benchApps.Libs {
+		if err := lib.WriteFile(filepath.Join(libDir, name)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, app := range benchApps.Apps {
+		path := filepath.Join(dir, app.Profile.Name)
+		if err := app.Bin.WriteFile(path); err != nil {
+			b.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, libDir
+}
+
+func runAnalyzeAll(b *testing.B, a *Analyzer, paths []string, opts BatchOptions, wantCached bool) {
+	b.Helper()
+	results, err := a.AnalyzeAll(paths, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			b.Fatalf("%s: %v", res.Path, res.Err)
+		}
+		if res.Cached != wantCached {
+			b.Fatalf("%s: cached=%v, want %v", res.Path, res.Cached, wantCached)
+		}
+	}
+}
+
+// BenchmarkAnalyzeAllColdCache is a from-scratch batch: every library
+// interface and every program is analyzed and persisted.
+func BenchmarkAnalyzeAllColdCache(b *testing.B) {
+	paths, libDir := writeBatchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cacheDir := filepath.Join(b.TempDir(), fmt.Sprintf("cold%d", i))
+		b.StartTimer()
+		a := NewAnalyzer(Options{LibraryDir: libDir, CacheDir: cacheDir})
+		runAnalyzeAll(b, a, paths, BatchOptions{}, false)
+	}
+}
+
+// BenchmarkAnalyzeAllWarmCache is the same batch against a populated
+// store: the per-library phase and per-program identification vanish,
+// leaving ELF parsing plus cache reads. The cold/warm gap is the
+// paper's §4.5 decoupling made persistent.
+func BenchmarkAnalyzeAllWarmCache(b *testing.B) {
+	paths, libDir := writeBatchCorpus(b)
+	cacheDir := filepath.Join(b.TempDir(), "warm")
+	prewarm := NewAnalyzer(Options{LibraryDir: libDir, CacheDir: cacheDir})
+	runAnalyzeAll(b, prewarm, paths, BatchOptions{}, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAnalyzer(Options{LibraryDir: libDir, CacheDir: cacheDir})
+		runAnalyzeAll(b, a, paths, BatchOptions{}, true)
+	}
+}
+
+// writeStaticBatch materializes n mid-sized static binaries, where all
+// analysis work is per-binary (no shared-library phase to serialize on)
+// — the workload shape that isolates the worker pool itself.
+func writeStaticBatch(b *testing.B, n int) []string {
+	b.Helper()
+	dir := b.TempDir()
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		bin, err := corpus.BuildProgram(corpus.Profile{
+			Name: fmt.Sprintf("batch%02d", i), Kind: elff.KindStatic,
+			HotDirect: 12, HotWrapper: 4, HotStack: 2, Handlers: 2,
+			ColdDirect: 8, ColdWrapper: 2, StackedTruth: 1,
+			Filler: 30, Seed: int64(100 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("batch%02d", i))
+		if err := bin.WriteFile(path); err != nil {
+			b.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// BenchmarkAnalyzeAllSerial / ...Parallel quantify the worker pool with
+// caching off: identical work, one worker vs GOMAXPROCS workers.
+func BenchmarkAnalyzeAllSerial(b *testing.B) {
+	paths := writeStaticBatch(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAnalyzer(Options{})
+		runAnalyzeAll(b, a, paths, BatchOptions{Jobs: 1}, false)
+	}
+}
+
+func BenchmarkAnalyzeAllParallel(b *testing.B) {
+	paths := writeStaticBatch(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAnalyzer(Options{})
+		runAnalyzeAll(b, a, paths, BatchOptions{}, false)
+	}
 }
 
 // --- substrate micro-benchmarks -----------------------------------------

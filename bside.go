@@ -10,19 +10,42 @@
 // symbolic execution. Dynamically linked executables are resolved
 // against per-library shared interfaces computed once per library.
 //
-// Typical use:
+// Typical use — analyze one executable:
 //
 //	a := bside.NewAnalyzer(bside.Options{LibraryDir: "deps/"})
 //	res, err := a.AnalyzeFile("bin/server")
 //	...
 //	policy := res.Policy() // seccomp-style allow list
+//
+// Typical use — analyze a fleet, with results persisted across runs:
+//
+//	a := bside.NewAnalyzer(bside.Options{
+//		LibraryDir: "deps/",
+//		CacheDir:   "/var/cache/bside",
+//	})
+//	results, err := a.AnalyzeAll(paths, bside.BatchOptions{})
+//	for _, res := range results {
+//		if res.Err != nil { ... }        // per-binary failure
+//		_ = res.Cached                   // served from the warm cache
+//	}
+//
+// AnalyzeAll fans the binaries out across a bounded worker pool; the
+// expensive per-library phase (§4.5) runs exactly once per distinct
+// library even when many workers need it concurrently. With CacheDir
+// set, shared interfaces and whole-program results are stored on disk,
+// content-addressed by the SHA-256 of the ELF image, so a binary — or a
+// library shared by a thousand binaries — is only ever analyzed once
+// per content version, across process lifetimes.
 package bside
 
 import (
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
 
+	"bside/internal/cache"
 	"bside/internal/elff"
 	"bside/internal/filter"
 	"bside/internal/ident"
@@ -46,13 +69,29 @@ type Options struct {
 	// responsibility (as in the paper, §4.5); every exported function
 	// of a module is assumed callable and unioned into the result.
 	Modules []string
+	// CacheDir, when set, enables the persistent content-addressed
+	// analysis cache: shared-library interfaces and whole-program
+	// results are stored under this directory keyed by the SHA-256 of
+	// the ELF image (plus a configuration and dependency fingerprint)
+	// and reused on later runs. Analyses served from the cache have
+	// Cached set and do not support Phases or Disassembly (those need
+	// the recovered CFG, which is not persisted). Program-level caching
+	// is skipped when Modules are configured; interface caching still
+	// applies. Corrupt or stale entries are ignored and re-computed,
+	// never fatal.
+	CacheDir string
 }
 
 // Analyzer analyzes executables, caching shared-library interfaces
-// across calls (the once-per-library phase of the paper's §4.5).
+// across calls (the once-per-library phase of the paper's §4.5). It is
+// safe for concurrent use: AnalyzeAll runs one Analyzer across a
+// worker pool, and concurrent calls needing the same library compute
+// its interface exactly once.
 type Analyzer struct {
-	inner   *shared.Analyzer
-	modules []string
+	inner    *shared.Analyzer
+	modules  []string
+	cache    *cache.Store
+	cacheErr error
 }
 
 // NewAnalyzer builds an Analyzer.
@@ -66,11 +105,36 @@ func NewAnalyzer(opts Options) *Analyzer {
 	}
 	inner := shared.NewAnalyzer(load, ident.Config{})
 	inner.MaxCFGInsns = opts.MaxCFGInstructions
-	return &Analyzer{inner: inner, modules: opts.Modules}
+	a := &Analyzer{inner: inner, modules: opts.Modules}
+	if opts.CacheDir != "" {
+		a.cache, a.cacheErr = cache.Open(opts.CacheDir)
+		inner.Cache = a.cache
+	}
+	return a
+}
+
+// CacheStats is a snapshot of the persistent cache's traffic. Zero
+// when no CacheDir is configured.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+	Stores uint64
+}
+
+// CacheStats reports the analyzer's cache traffic so far.
+func (a *Analyzer) CacheStats() CacheStats {
+	if a.cache == nil {
+		return CacheStats{}
+	}
+	st := a.cache.Stats()
+	return CacheStats{Hits: st.Hits, Misses: st.Misses, Stores: st.Stores}
 }
 
 // Analysis is the result of analyzing one executable.
 type Analysis struct {
+	// Path is the file the analysis describes (set by AnalyzeFile and
+	// AnalyzeAll; empty for AnalyzeBytes).
+	Path string
 	// Syscalls is the identified superset of invocable syscall numbers,
 	// sorted ascending.
 	Syscalls []uint64
@@ -82,6 +146,12 @@ type Analysis struct {
 	Wrappers int
 	// Imports lists foreign symbols the program can reach.
 	Imports []string
+	// Cached reports that the result was served from the persistent
+	// cache. Cached analyses do not support Phases or Disassembly.
+	Cached bool
+	// Err is the per-binary failure recorded by AnalyzeAll; when set,
+	// every other field except Path is zero.
+	Err error
 
 	report *shared.ProgramReport
 }
@@ -92,7 +162,12 @@ func (a *Analyzer) AnalyzeFile(path string) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return a.analyze(bin)
+	res, err := a.analyze(bin)
+	if err != nil {
+		return nil, err
+	}
+	res.Path = path
+	return res, nil
 }
 
 // AnalyzeBytes analyzes an in-memory ELF image.
@@ -104,12 +179,81 @@ func (a *Analyzer) AnalyzeBytes(data []byte) (*Analysis, error) {
 	return a.analyze(bin)
 }
 
+// BatchOptions tunes AnalyzeAll.
+type BatchOptions struct {
+	// Jobs is the worker-pool size; 0 uses GOMAXPROCS.
+	Jobs int
+}
+
+// AnalyzeAll analyzes many executables concurrently over a bounded
+// worker pool, sharing one interface cache: a library needed by several
+// of the binaries is analyzed exactly once, however the work is
+// scheduled. The result slice is parallel to paths. Per-binary
+// failures do not abort the batch — they are recorded in the
+// corresponding result's Err field, with the returned error reserved
+// for systemic failures (an unusable cache directory).
+func (a *Analyzer) AnalyzeAll(paths []string, opts BatchOptions) ([]*Analysis, error) {
+	if a.cacheErr != nil {
+		return nil, a.cacheErr
+	}
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(paths) {
+		jobs = len(paths)
+	}
+	results := make([]*Analysis, len(paths))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				res, err := a.AnalyzeFile(paths[i])
+				if err != nil {
+					res = &Analysis{Path: paths[i], Err: err}
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range paths {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return results, nil
+}
+
 func (a *Analyzer) analyze(bin *elff.Binary) (*Analysis, error) {
+	if a.cacheErr != nil {
+		return nil, a.cacheErr
+	}
+	var out *Analysis
+	if a.cache != nil && len(a.modules) == 0 {
+		// Cache-aware path: a hit skips all decoding; a miss computes,
+		// persists the summary, and keeps the full report.
+		sum, rep, err := a.inner.ProgramSummary(bin)
+		if err != nil {
+			return nil, err
+		}
+		out = &Analysis{
+			Syscalls: sum.Syscalls,
+			FailOpen: sum.FailOpen,
+			Wrappers: sum.Wrappers,
+			Imports:  sum.Imports,
+			Cached:   sum.Cached,
+			report:   rep,
+		}
+		return out, nil
+	}
 	rep, err := a.inner.Program(bin)
 	if err != nil {
 		return nil, err
 	}
-	out := &Analysis{
+	out = &Analysis{
 		Syscalls: rep.Syscalls,
 		FailOpen: rep.FailOpen,
 		Wrappers: len(rep.Main.Wrappers),
@@ -122,7 +266,7 @@ func (a *Analyzer) analyze(bin *elff.Binary) (*Analysis, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bside: module %s: %w", path, err)
 		}
-		set, failOpen, err := a.inner.Module(mod, filepath.Base(path))
+		set, failOpen, err := a.inner.Module(mod, filepath.Base(path), bin)
 		if err != nil {
 			return nil, fmt.Errorf("bside: module %s: %w", path, err)
 		}
@@ -225,6 +369,9 @@ type PhaseOptions struct {
 // Phases extracts execution phases and per-phase allow lists from the
 // analyzed program.
 func (r *Analysis) Phases(opts PhaseOptions) (*PhaseReport, error) {
+	if r.report == nil {
+		return nil, fmt.Errorf("bside: phases unavailable for a cache-served analysis (re-analyze without the cache entry)")
+	}
 	if r.FailOpen {
 		return nil, fmt.Errorf("bside: phase policies are meaningless for a fail-open analysis")
 	}
@@ -251,8 +398,12 @@ func (r *Analysis) Phases(opts PhaseOptions) (*PhaseReport, error) {
 
 // Disassembly renders the main binary's recovered control-flow graph as
 // a human-readable listing (functions, blocks, instructions, syscall
-// sites and import calls annotated).
+// sites and import calls annotated). Empty for cache-served analyses,
+// which carry no CFG.
 func (r *Analysis) Disassembly() string {
+	if r.report == nil {
+		return ""
+	}
 	return r.report.Graph.Listing()
 }
 

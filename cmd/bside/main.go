@@ -5,6 +5,12 @@
 // Usage:
 //
 //	bside [-libs dir] [-json] [-phases] [-policy] <binary>
+//	bside batch [-libs dir] [-cache dir] [-jobs n] [-max-insns n] <binary>...
+//
+// The batch form analyzes many binaries concurrently over a shared
+// interface cache, emitting one JSON object per binary (JSON lines) on
+// stdout and a cold/warm summary on stderr. With -cache, results are
+// persisted content-addressed on disk and reused by later runs.
 package main
 
 import (
@@ -12,11 +18,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bside"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "batch" {
+		if err := runBatch(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "bside:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	libs := flag.String("libs", "", "directory with shared-library dependencies")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	withPhases := flag.Bool("phases", false, "detect execution phases")
@@ -88,6 +102,83 @@ func run(path, libDir string, asJSON, withPhases, asPolicy, disasm bool, maxInsn
 	}
 	if res.Wrappers > 0 {
 		fmt.Printf("%d syscall wrapper(s) detected\n", res.Wrappers)
+	}
+	return nil
+}
+
+// batchLine is the JSON-lines record emitted per binary.
+type batchLine struct {
+	Path     string   `json:"path"`
+	Syscalls []uint64 `json:"syscalls,omitempty"`
+	Names    []string `json:"names,omitempty"`
+	FailOpen bool     `json:"fail_open,omitempty"`
+	Wrappers int      `json:"wrappers,omitempty"`
+	Cached   bool     `json:"cached,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+func runBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	libs := fs.String("libs", "", "directory with shared-library dependencies")
+	cacheDir := fs.String("cache", "", "persistent content-addressed cache directory")
+	jobs := fs.Int("jobs", 0, "worker-pool size (0 = GOMAXPROCS)")
+	maxInsns := fs.Int("max-insns", 0, "disassembly budget per binary (0 = default)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bside batch [-libs dir] [-cache dir] [-jobs n] [-max-insns n] <binary>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	a := bside.NewAnalyzer(bside.Options{
+		LibraryDir:         *libs,
+		CacheDir:           *cacheDir,
+		MaxCFGInstructions: *maxInsns,
+	})
+	start := time.Now()
+	results, err := a.AnalyzeAll(fs.Args(), bside.BatchOptions{Jobs: *jobs})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	enc := json.NewEncoder(os.Stdout)
+	var warm, cold, failed int
+	for _, res := range results {
+		line := batchLine{Path: res.Path}
+		if res.Err != nil {
+			failed++
+			line.Error = res.Err.Error()
+		} else {
+			if res.Cached {
+				warm++
+			} else {
+				cold++
+			}
+			line.Syscalls = res.Syscalls
+			line.Names = res.Names()
+			line.FailOpen = res.FailOpen
+			line.Wrappers = res.Wrappers
+			line.Cached = res.Cached
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	st := a.CacheStats()
+	fmt.Fprintf(os.Stderr, "bside batch: %d binaries in %v: %d analyzed (cold), %d from cache (warm), %d failed",
+		len(results), elapsed.Round(time.Millisecond), cold, warm, failed)
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "; cache %d hits / %d misses / %d stores", st.Hits, st.Misses, st.Stores)
+	}
+	fmt.Fprintln(os.Stderr)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d binaries failed", failed, len(results))
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module bside
+
+go 1.22

@@ -1,0 +1,204 @@
+// Package cache implements the content-addressed on-disk store behind
+// batch analysis: the once-per-library artifacts of the paper's §4.5
+// (shared interfaces) and whole-program identification results are
+// persisted across processes, keyed by the SHA-256 of the ELF image
+// they were derived from, so a fleet-wide analysis run only ever pays
+// for each distinct binary once.
+//
+// Layout on disk:
+//
+//	<dir>/<kind>/<key[:2]>/<key>.json
+//
+// where kind partitions entry types ("interface", "program") and key is
+// the lowercase hex SHA-256 of the source image (the store treats keys
+// as opaque path-safe strings; elff.Read is the one place the hash is
+// computed). Every file is a small JSON envelope:
+//
+//	{"version": 1, "sha256": "<key>", "conf": "<fingerprint>", "payload": {...}}
+//
+// The envelope makes the store self-validating: a version bump, a
+// sha256 field that disagrees with the file's name (a moved or
+// hand-edited entry), a configuration fingerprint mismatch (different
+// analysis settings, or a dependency whose image hash changed), or any
+// decode error is treated as a miss and the entry is re-computed —
+// corruption is never fatal. Writes go through a temp file plus rename
+// so concurrent writers of the same entry cannot tear each other's
+// files.
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// formatVersion invalidates every existing entry when the envelope or
+// payload schemas change incompatibly.
+const formatVersion = 1
+
+// Store is a content-addressed cache directory. All methods are safe
+// for concurrent use.
+type Store struct {
+	dir string
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	stores atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of cache traffic.
+type Stats struct {
+	// Hits counts Load calls satisfied from disk.
+	Hits uint64
+	// Misses counts Load calls that found no usable entry.
+	Misses uint64
+	// Stores counts entries written.
+	Stores uint64
+}
+
+// Open returns a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir exposes the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the hit/miss/store counters.
+func (s *Store) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Stores: s.stores.Load()}
+}
+
+type envelope struct {
+	Version int             `json:"version"`
+	SHA256  string          `json:"sha256"`
+	Conf    string          `json:"conf,omitempty"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func (s *Store) path(kind, key string) string {
+	return filepath.Join(s.dir, kind, key[:2], key+".json")
+}
+
+// Load decodes the entry for (kind, key) into out and reports whether a
+// usable entry existed. conf must match the fingerprint the entry was
+// stored under; any mismatch, decode failure, or version skew is a miss.
+// An entry whose recorded sha256 disagrees with key is actively busted
+// (removed) so it cannot shadow a future store.
+func (s *Store) Load(kind, key, conf string, out any) bool {
+	if len(key) < 2 {
+		s.misses.Add(1)
+		return false
+	}
+	path := s.path(kind, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		// Corrupt or truncated: ignore, the caller re-analyzes.
+		s.misses.Add(1)
+		return false
+	}
+	if env.SHA256 != key {
+		// The file does not describe the image it is filed under:
+		// busted. No need to remove it — a removal here could race a
+		// concurrent Store's rename and delete a freshly written valid
+		// entry; the caller's re-analysis overwrites it instead.
+		s.misses.Add(1)
+		return false
+	}
+	if env.Version != formatVersion || env.Conf != conf {
+		s.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// Store writes the entry for (kind, key), replacing any previous one.
+func (s *Store) Store(kind, key, conf string, payload any) error {
+	if len(key) < 2 {
+		return fmt.Errorf("cache: invalid key %q", key)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("cache: marshal %s/%s: %w", kind, key, err)
+	}
+	data, err := json.MarshalIndent(envelope{
+		Version: formatVersion,
+		SHA256:  key,
+		Conf:    conf,
+		Payload: raw,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cache: marshal envelope: %w", err)
+	}
+	path := s.path(kind, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	sweepStaleTemps(filepath.Dir(path))
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("cache: write %s: %w", path, werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	s.stores.Add(1)
+	return nil
+}
+
+// staleTempAge is how old an abandoned temp file must be before a
+// writer sweeps it: long enough that no live writer (create→rename is
+// milliseconds) can be racing on it.
+const staleTempAge = time.Hour
+
+// sweepStaleTemps removes temp files orphaned by crashed writers from
+// one shard directory, so a long-lived store does not accumulate dead
+// files. Best-effort and O(shard): writers are the only thing that
+// creates temps, so sweeping where we are about to write is enough.
+func sweepStaleTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || time.Since(info.ModTime()) < staleTempAge {
+			continue
+		}
+		_ = os.Remove(filepath.Join(dir, name))
+	}
+}

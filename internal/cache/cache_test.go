@@ -1,0 +1,276 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type payload struct {
+	Name     string   `json:"name"`
+	Syscalls []uint64 `json:"syscalls,omitempty"`
+}
+
+// testKey derives a content address the way elff.Read does: lowercase
+// hex SHA-256 of the image bytes.
+func testKey(t *testing.T, s string) string {
+	t.Helper()
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-1")
+	in := payload{Name: "libc.so", Syscalls: []uint64{0, 1, 60}}
+	if err := s.Store("interface", key, "conf-a", in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if !s.Load("interface", key, "conf-a", &out) {
+		t.Fatal("stored entry not loadable")
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v vs %+v", in, out)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Stores != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMissOnAbsentConfAndKind(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-2")
+	var out payload
+	if s.Load("interface", key, "conf", &out) {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Store("interface", key, "conf", payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// A different configuration fingerprint must not be served.
+	if s.Load("interface", key, "other-conf", &out) {
+		t.Fatal("hit across configurations")
+	}
+	// Kinds partition the namespace.
+	if s.Load("program", key, "conf", &out) {
+		t.Fatal("hit across kinds")
+	}
+	if st := s.Stats(); st.Misses != 3 {
+		t.Fatalf("misses: %+v", st)
+	}
+}
+
+func TestCorruptAndTruncatedEntriesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-3")
+	if err := s.Store("interface", key, "conf", payload{Name: "libm.so"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "interface", key[:2], key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated file: load must miss, not fail.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Load("interface", key, "conf", &out) {
+		t.Fatal("truncated entry served")
+	}
+
+	// Garbage file: same.
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Load("interface", key, "conf", &out) {
+		t.Fatal("corrupt entry served")
+	}
+
+	// The entry can be re-stored and served again.
+	if err := s.Store("interface", key, "conf", payload{Name: "libm.so"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Load("interface", key, "conf", &out) || out.Name != "libm.so" {
+		t.Fatalf("re-store failed: %+v", out)
+	}
+}
+
+func TestHashMismatchBustsEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-4")
+	if err := s.Store("interface", key, "conf", payload{Name: "libz.so"}); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the recorded hash: the file no longer describes the
+	// image it is filed under.
+	path := filepath.Join(dir, "interface", key[:2], key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), key, testKey(t, "other-image"), 1)
+	if tampered == string(data) {
+		t.Fatal("tampering had no effect")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Load("interface", key, "conf", &out) {
+		t.Fatal("hash-mismatched entry served")
+	}
+	// The bust is permanent until a re-store overwrites the entry.
+	if s.Load("interface", key, "conf", &out) {
+		t.Fatal("hash-mismatched entry served on retry")
+	}
+	if err := s.Store("interface", key, "conf", payload{Name: "libz.so"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Load("interface", key, "conf", &out) || out.Name != "libz.so" {
+		t.Fatalf("re-store did not repair the busted entry: %+v", out)
+	}
+}
+
+func TestVersionSkewIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-5")
+	raw, _ := json.Marshal(payload{Name: "old"})
+	env, _ := json.Marshal(envelope{Version: formatVersion + 1, SHA256: key, Conf: "conf", Payload: raw})
+	path := filepath.Join(dir, "interface", key[:2], key+".json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Load("interface", key, "conf", &out) {
+		t.Fatal("future-version entry served")
+	}
+}
+
+func TestConcurrentStoreLoad(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-6")
+	want := payload{Name: "libc.so", Syscalls: []uint64{1, 60}}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Store("interface", key, "conf", want); err != nil {
+				t.Error(err)
+			}
+			var out payload
+			if s.Load("interface", key, "conf", &out) && !reflect.DeepEqual(out, want) {
+				t.Errorf("torn read: %+v", out)
+			}
+		}()
+	}
+	wg.Wait()
+	var out payload
+	if !s.Load("interface", key, "conf", &out) || !reflect.DeepEqual(out, want) {
+		t.Fatalf("final state: %+v", out)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("directory under a file accepted")
+	}
+}
+
+func TestShortKeyRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store("interface", "", "conf", payload{}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	var out payload
+	if s.Load("interface", "x", "conf", &out) {
+		t.Fatal("short key hit")
+	}
+}
+
+func TestStaleTempFilesSwept(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-7")
+	shard := filepath.Join(dir, "interface", key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// An orphan from a crashed writer, long dead.
+	stale := filepath.Join(shard, "."+key+".tmp-123")
+	if err := os.WriteFile(stale, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh orphan that could still belong to a live writer.
+	fresh := filepath.Join(shard, "."+key+".tmp-456")
+	if err := os.WriteFile(fresh, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Store("interface", key, "conf", payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file not swept")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp file must survive the sweep")
+	}
+	var out payload
+	if !s.Load("interface", key, "conf", &out) {
+		t.Fatal("entry unusable after sweep")
+	}
+}

@@ -2,7 +2,9 @@ package elff
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"debug/elf"
+	"encoding/hex"
 	"os"
 	"path/filepath"
 	"testing"
@@ -180,5 +182,49 @@ func TestReadRejectsGarbage(t *testing.T) {
 		if _, err := Read(data[:n]); err == nil {
 			t.Errorf("truncated to %d accepted", n)
 		}
+	}
+}
+
+// TestReadComputesContentHash: parsing stamps the image's SHA-256 — the
+// content address the analysis caches key on — and identical images
+// hash identically while any byte change diverges.
+func TestReadComputesContentHash(t *testing.T) {
+	spec, _ := buildSample(t, KindStatic, 0x400000)
+	data, err := Write(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(data)
+	want := hex.EncodeToString(sum[:])
+
+	b1, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Hash != want {
+		t.Fatalf("hash: %s, want %s", b1.Hash, want)
+	}
+	b2, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Hash != b1.Hash {
+		t.Fatal("identical images must hash identically")
+	}
+
+	// Flip one blob byte: different content, different address.
+	spec2 := spec
+	spec2.Blob = append([]byte(nil), spec.Blob...)
+	spec2.Blob[len(spec2.Blob)-1] ^= 0xFF
+	data2, err := Write(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := Read(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.Hash == b1.Hash {
+		t.Fatal("differing images must hash differently")
 	}
 }

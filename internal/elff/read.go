@@ -2,15 +2,22 @@ package elff
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"debug/elf"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"os"
 )
 
 // Binary is a parsed ELF image ready for analysis or emulation.
 type Binary struct {
-	Path      string
+	Path string
+	// Hash is the lowercase hex SHA-256 of the serialized image the
+	// binary was parsed from — the content address used by the on-disk
+	// analysis caches. Empty for binaries assembled in memory without a
+	// serialization round trip.
+	Hash      string
 	Kind      Kind
 	Entry     uint64
 	Base      uint64 // virtual address of Blob[0]
@@ -129,7 +136,8 @@ func Read(data []byte) (*Binary, error) {
 		return nil, fmt.Errorf("unsupported machine %v", f.Machine)
 	}
 
-	out := &Binary{Entry: f.Entry, Symbols: make(map[string]uint64)}
+	sum := sha256.Sum256(data)
+	out := &Binary{Entry: f.Entry, Hash: hex.EncodeToString(sum[:]), Symbols: make(map[string]uint64)}
 	switch {
 	case f.Type == elf.ET_EXEC:
 		out.Kind = KindStatic

@@ -5,8 +5,12 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"bside/internal/cache"
 	"bside/internal/cfg"
 	"bside/internal/elff"
 	"bside/internal/ident"
@@ -18,12 +22,20 @@ import (
 // per-library phase runs once per library (cached as a shared
 // interface), and per-executable analysis resolves foreign symbols
 // against those interfaces.
+//
+// An Analyzer is safe for concurrent use. Library loads and interface
+// computations are deduplicated: when two goroutines analyze
+// executables sharing a dependency, the dependency's image is loaded
+// and its interface computed exactly once, with the second goroutine
+// waiting on the first's result.
 type Analyzer struct {
-	// LoadLib maps a DT_NEEDED name to its parsed image.
+	// LoadLib maps a DT_NEEDED name to its parsed image. Calls are
+	// deduplicated per name, so the loader itself need not cache.
 	LoadLib func(name string) (*elff.Binary, error)
 	// Config is the identification configuration template. Its Budget,
-	// if set, is shared across everything this Analyzer does; leave nil
-	// to give every module a fresh default budget.
+	// if set, supplies the limits; every analysis unit (library,
+	// executable, module) runs against its own counters so concurrent
+	// analyses cannot exhaust each other's budget.
 	Config ident.Config
 	// MaxCFGInsns bounds CFG recovery of the main executable (0 =
 	// cfg.Recover's default); the Table 2 harness uses it to bound
@@ -32,15 +44,67 @@ type Analyzer struct {
 	// InterfaceDir, when set, persists each library's shared interface
 	// as a JSON file (<name>.interface.json) and reuses it on later
 	// runs — the once-per-library artifact of the paper's Figure 3 (L).
+	// Entries are keyed by library name only; prefer Cache, which is
+	// content-addressed and validates dependency hashes.
 	InterfaceDir string
+	// Cache, when set, is the content-addressed store consulted before
+	// any expensive work: shared interfaces and whole-program summaries
+	// are keyed by the SHA-256 of the ELF image they were derived from
+	// (plus a configuration and dependency-hash fingerprint), so
+	// results persist across processes and survive library upgrades
+	// without going stale.
+	Cache *cache.Store
 
+	mu         sync.Mutex
 	interfaces map[string]*Interface
 	exportMemo map[string]exportSet
+	bins       map[string]*elff.Binary
+	binFlight  map[string]*flight[*elff.Binary]
+	ifcFlight  map[string]*flight[*Interface]
+	moduleSeq  atomic.Uint64
 }
 
 type exportSet struct {
 	syscalls []uint64
 	failOpen bool
+}
+
+// flight is a single-flight slot: the first goroutine to claim a key
+// computes, the rest wait on done and share the outcome.
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// singleflight runs compute for key exactly once among concurrent
+// callers, memoizing successes in memo so later callers never wait.
+// mu guards both maps. Failures are not memoized: a later caller
+// retries.
+func singleflight[T any](mu *sync.Mutex, memo map[string]T, flights map[string]*flight[T], key string, compute func() (T, error)) (T, error) {
+	mu.Lock()
+	if v, ok := memo[key]; ok {
+		mu.Unlock()
+		return v, nil
+	}
+	if fl, ok := flights[key]; ok {
+		mu.Unlock()
+		<-fl.done
+		return fl.val, fl.err
+	}
+	fl := &flight[T]{done: make(chan struct{})}
+	flights[key] = fl
+	mu.Unlock()
+
+	fl.val, fl.err = compute()
+	mu.Lock()
+	if fl.err == nil {
+		memo[key] = fl.val
+	}
+	delete(flights, key)
+	mu.Unlock()
+	close(fl.done)
+	return fl.val, fl.err
 }
 
 // NewAnalyzer builds an Analyzer around a library loader.
@@ -50,11 +114,43 @@ func NewAnalyzer(load func(name string) (*elff.Binary, error), conf ident.Config
 		Config:     conf,
 		interfaces: make(map[string]*Interface),
 		exportMemo: make(map[string]exportSet),
+		bins:       make(map[string]*elff.Binary),
+		binFlight:  make(map[string]*flight[*elff.Binary]),
+		ifcFlight:  make(map[string]*flight[*Interface]),
 	}
 }
 
-// Interfaces exposes the cached interfaces (after analysis runs).
-func (a *Analyzer) Interfaces() map[string]*Interface { return a.interfaces }
+// Interfaces returns a snapshot of the cached interfaces (after
+// analysis runs).
+func (a *Analyzer) Interfaces() map[string]*Interface {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]*Interface, len(a.interfaces))
+	for name, ifc := range a.interfaces {
+		out[name] = ifc
+	}
+	return out
+}
+
+// confFor derives the per-unit identification config: the template with
+// a private budget, so concurrent units cannot race on the counters.
+func (a *Analyzer) confFor() ident.Config {
+	conf := a.Config
+	if conf.Budget != nil {
+		b := *conf.Budget
+		b.Steps, b.Forks = 0, 0
+		conf.Budget = &b
+	}
+	return conf
+}
+
+// loadLib resolves a DT_NEEDED name through LoadLib exactly once,
+// memoizing the image and letting concurrent callers share one load.
+func (a *Analyzer) loadLib(name string) (*elff.Binary, error) {
+	return singleflight(&a.mu, a.bins, a.binFlight, name, func() (*elff.Binary, error) {
+		return a.LoadLib(name)
+	})
+}
 
 // depItem is a priority-queue element ordered by dependency depth:
 // deepest libraries are analyzed first so that every library sees its
@@ -72,11 +168,10 @@ func (q depQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
 func (q *depQueue) Push(x any)        { *q = append(*q, x.(depItem)) }
 func (q *depQueue) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
 
-// ensureInterfaces analyzes every library in the dependency closure of
-// needed, deepest-first.
-func (a *Analyzer) ensureInterfaces(needed []string) error {
+// depClosure loads the transitive DT_NEEDED closure of needed and
+// returns each member's depth (deeper = analyzed earlier).
+func (a *Analyzer) depClosure(needed []string) (map[string]int, error) {
 	depth := make(map[string]int)
-	bins := make(map[string]*elff.Binary)
 	var visit func(name string, d int) error
 	visit = func(name string, d int) error {
 		if prev, ok := depth[name]; ok && prev >= d {
@@ -86,14 +181,11 @@ func (a *Analyzer) ensureInterfaces(needed []string) error {
 			return fmt.Errorf("shared: dependency cycle or chain too deep at %q", name)
 		}
 		depth[name] = d
-		if _, ok := bins[name]; !ok {
-			bin, err := a.LoadLib(name)
-			if err != nil {
-				return err
-			}
-			bins[name] = bin
+		bin, err := a.loadLib(name)
+		if err != nil {
+			return err
 		}
-		for _, sub := range bins[name].Needed {
+		for _, sub := range bin.Needed {
 			if err := visit(sub, d+1); err != nil {
 				return err
 			}
@@ -102,10 +194,19 @@ func (a *Analyzer) ensureInterfaces(needed []string) error {
 	}
 	for _, name := range needed {
 		if err := visit(name, 1); err != nil {
-			return err
+			return nil, err
 		}
 	}
+	return depth, nil
+}
 
+// ensureInterfaces analyzes every library in the dependency closure of
+// needed, deepest-first.
+func (a *Analyzer) ensureInterfaces(needed []string) error {
+	depth, err := a.depClosure(needed)
+	if err != nil {
+		return err
+	}
 	q := make(depQueue, 0, len(depth))
 	for name, d := range depth {
 		q = append(q, depItem{name: name, depth: d})
@@ -113,34 +214,92 @@ func (a *Analyzer) ensureInterfaces(needed []string) error {
 	heap.Init(&q)
 	for q.Len() > 0 {
 		it := heap.Pop(&q).(depItem)
-		if _, done := a.interfaces[it.name]; done {
-			continue
-		}
-		if ifc, ok := a.loadCachedInterface(it.name); ok {
-			a.interfaces[it.name] = ifc
-			continue
-		}
-		bin := bins[it.name]
-		wrappers, err := a.importWrappersFor(bin)
-		if err != nil {
+		if err := a.ensureInterface(it.name); err != nil {
 			return err
 		}
-		conf := a.Config
-		ifc, err := AnalyzeLibrary(bin, it.name, conf, wrappers)
-		if err != nil {
-			return err
-		}
-		a.interfaces[it.name] = ifc
-		a.storeCachedInterface(ifc)
 	}
 	return nil
+}
+
+// ensureInterface makes sure one library's interface is available,
+// deduplicating concurrent computations: the first caller computes, the
+// rest wait and share the outcome.
+func (a *Analyzer) ensureInterface(name string) error {
+	_, err := singleflight(&a.mu, a.interfaces, a.ifcFlight, name, func() (*Interface, error) {
+		ifc, err := a.computeInterface(name)
+		if err == nil {
+			a.trimBin(name)
+		}
+		return ifc, err
+	})
+	return err
+}
+
+// trimBin swaps the memoized library image for a lightweight record
+// once the expensive per-library phase is behind it. Only Needed and
+// Hash are consulted afterwards (closure walks and cache
+// fingerprints); without the trim, a long-lived batch analyzer would
+// pin every distinct library's full segment bytes in memory for its
+// lifetime. The original *elff.Binary is untouched — callers handing
+// in-memory images to LoadLib keep theirs intact.
+func (a *Analyzer) trimBin(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if bin, ok := a.bins[name]; ok {
+		a.bins[name] = &elff.Binary{
+			Path:   bin.Path,
+			Hash:   bin.Hash,
+			Kind:   bin.Kind,
+			Entry:  bin.Entry,
+			Needed: bin.Needed,
+		}
+	}
+}
+
+// computeInterface produces one library's interface: from the
+// content-addressed cache, from the legacy name-keyed InterfaceDir, or
+// by running the expensive per-library analysis (and then persisting
+// the result).
+func (a *Analyzer) computeInterface(name string) (*Interface, error) {
+	bin, err := a.loadLib(name)
+	if err != nil {
+		return nil, err
+	}
+	conf, confOK := a.entryConf(kindInterface, bin)
+	if confOK {
+		var ifc Interface
+		if a.Cache.Load(kindInterface, bin.Hash, conf, &ifc) {
+			return &ifc, nil
+		}
+	} else if ifc, ok := a.loadLegacyInterface(name); ok {
+		// The name-keyed legacy store cannot detect a changed library
+		// image, so it is only consulted when content addressing is
+		// unavailable — a content-cache miss must re-analyze, not fall
+		// back to a possibly stale name match.
+		return ifc, nil
+	}
+	wrappers, err := a.importWrappersFor(bin)
+	if err != nil {
+		return nil, err
+	}
+	ifc, err := AnalyzeLibrary(bin, name, a.confFor(), wrappers)
+	if err != nil {
+		return nil, err
+	}
+	a.storeLegacyInterface(ifc)
+	if confOK {
+		// Caching is best-effort; analysis correctness never depends
+		// on it.
+		_ = a.Cache.Store(kindInterface, bin.Hash, conf, ifc)
+	}
+	return ifc, nil
 }
 
 func (a *Analyzer) interfacePath(name string) string {
 	return filepath.Join(a.InterfaceDir, name+".interface.json")
 }
 
-func (a *Analyzer) loadCachedInterface(name string) (*Interface, bool) {
+func (a *Analyzer) loadLegacyInterface(name string) (*Interface, bool) {
 	if a.InterfaceDir == "" {
 		return nil, false
 	}
@@ -151,20 +310,22 @@ func (a *Analyzer) loadCachedInterface(name string) (*Interface, bool) {
 	return ifc, true
 }
 
-func (a *Analyzer) storeCachedInterface(ifc *Interface) {
+func (a *Analyzer) storeLegacyInterface(ifc *Interface) {
 	if a.InterfaceDir == "" {
 		return
 	}
-	// Caching is best-effort; analysis correctness never depends on it.
 	_ = ifc.Save(a.interfacePath(ifc.Library))
 }
 
 // importWrappersFor inspects the interfaces of bin's dependencies and
 // returns the imported symbols that are wrappers.
 func (a *Analyzer) importWrappersFor(bin *elff.Binary) (map[string]symex.ParamRef, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	scope := a.closureScopeLocked(bin.Needed)
 	out := make(map[string]symex.ParamRef)
 	for _, im := range bin.Imports {
-		ifc, exp := a.findProvider(bin.Needed, im.Name)
+		ifc, exp := a.findProviderLocked(scope, bin.Needed, im.Name)
 		if ifc == nil || exp.Wrapper == nil {
 			continue
 		}
@@ -177,9 +338,37 @@ func (a *Analyzer) importWrappersFor(bin *elff.Binary) (map[string]symex.ParamRe
 	return out, nil
 }
 
-// findProvider locates the export named sym: first in the given
-// dependency list's interfaces, then anywhere (global symbol scope).
-func (a *Analyzer) findProvider(needed []string, sym string) (*Interface, *Export) {
+// closureScopeLocked returns the name set of the transitive DT_NEEDED
+// closure of needed, walked over already-loaded images. This is the
+// symbol resolution scope of one program: a batch analyzer holds
+// interfaces from many unrelated programs, and letting a symbol
+// resolve against a library outside the binary's own closure would
+// make results depend on what else happened to be analyzed — and,
+// with the persistent cache, freeze that accident of scheduling into
+// a content-addressed entry. Callers hold a.mu.
+func (a *Analyzer) closureScopeLocked(needed []string) map[string]bool {
+	scope := make(map[string]bool)
+	var visit func(names []string)
+	visit = func(names []string) {
+		for _, n := range names {
+			if scope[n] {
+				continue
+			}
+			scope[n] = true
+			if bin, ok := a.bins[n]; ok {
+				visit(bin.Needed)
+			}
+		}
+	}
+	visit(needed)
+	return scope
+}
+
+// findProviderLocked locates the export named sym: first in the given
+// dependency list's interfaces, then anywhere within scope (the
+// program's global symbol scope — its full dependency closure).
+// Callers hold a.mu.
+func (a *Analyzer) findProviderLocked(scope map[string]bool, needed []string, sym string) (*Interface, *Export) {
 	for _, name := range needed {
 		if ifc, ok := a.interfaces[name]; ok {
 			if exp, ok := ifc.ExportNamed(sym); ok {
@@ -187,9 +376,11 @@ func (a *Analyzer) findProvider(needed []string, sym string) (*Interface, *Expor
 			}
 		}
 	}
-	names := make([]string, 0, len(a.interfaces))
-	for name := range a.interfaces {
-		names = append(names, name)
+	names := make([]string, 0, len(scope))
+	for name := range scope {
+		if _, ok := a.interfaces[name]; ok {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
@@ -200,37 +391,93 @@ func (a *Analyzer) findProvider(needed []string, sym string) (*Interface, *Expor
 	return nil, nil
 }
 
-// closedExportSet computes the transitive syscall set of one export,
-// following its foreign calls through other interfaces.
-func (a *Analyzer) closedExportSet(lib *Interface, exp *Export) exportSet {
-	key := lib.Library + "\x00" + exp.Name
-	if memo, ok := a.exportMemo[key]; ok {
-		return memo
+// scopeKeyOf canonically renders a resolution scope so memoized
+// export sets computed under different scopes never collide.
+func scopeKeyOf(scope map[string]bool) string {
+	names := make([]string, 0, len(scope))
+	for n := range scope {
+		names = append(names, n)
 	}
-	// Seed the memo to cut cycles (mutual recursion between libraries).
-	a.exportMemo[key] = exportSet{}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// closedExportSetLocked computes the transitive syscall set of one
+// export, following its foreign calls through other interfaces.
+// Imports resolve within scope — the analyzed program's full
+// dependency closure, matching the dynamic linker's global symbol
+// scope (an underlinked library routinely calls symbols provided by a
+// sibling it never declares in DT_NEEDED). The memo is keyed by
+// (scope, library, export), so results stay deterministic per program
+// even when one analyzer serves many programs with different
+// closures. Callers hold a.mu.
+func (a *Analyzer) closedExportSetLocked(scope map[string]bool, scopeKey string, lib *Interface, exp *Export) exportSet {
+	out, _ := a.closedExportWalkLocked(scope, scopeKey, lib, exp, 0, make(map[string]int))
+	return out
+}
+
+// closedExportWalkLocked is the cycle-aware walk behind
+// closedExportSetLocked. onStack maps in-progress keys to their depth;
+// the second return value is the shallowest on-stack depth the subtree
+// reached (len(onStack)+1 when none — no open cycle). A node whose
+// subtree reaches above it sits inside a cycle that closes at an
+// ancestor: its own set is incomplete (the ancestor's contributions
+// are still being accumulated), so it must NOT be memoized — only the
+// node where the cycle closes sees the full union. Memoizing the
+// incomplete set (as a naive seed-and-store does) would let another
+// program's query — or the persistent cache — serve a syscall set
+// missing the cycle's contributions.
+func (a *Analyzer) closedExportWalkLocked(scope map[string]bool, scopeKey string, lib *Interface, exp *Export, depth int, onStack map[string]int) (exportSet, int) {
+	key := scopeKey + "\x01" + lib.Library + "\x00" + exp.Name
+	if memo, ok := a.exportMemo[key]; ok {
+		return memo, depth + 1
+	}
+	if d, ok := onStack[key]; ok {
+		// Cycle: contribute nothing here; the ancestor at depth d
+		// completes the union.
+		return exportSet{}, d
+	}
+	onStack[key] = depth
+	defer delete(onStack, key)
 
 	set := make(map[uint64]bool)
 	for _, n := range exp.Syscalls {
 		set[n] = true
 	}
 	failOpen := exp.FailOpen
+	low := depth + 1
 	for _, sym := range exp.Imports {
-		ifc, sub := a.findProvider(lib.Needed, sym)
+		ifc, sub := a.findProviderLocked(scope, lib.Needed, sym)
+		if ifc == nil {
+			// A library may import its own export (PLT-routed
+			// self-calls); modules especially sit outside scope.
+			if e, ok := lib.ExportNamed(sym); ok {
+				ifc, sub = lib, e
+			}
+		}
 		if ifc == nil {
 			// Unresolvable foreign call: unknowable behaviour.
 			failOpen = true
 			continue
 		}
-		es := a.closedExportSet(ifc, sub)
+		es, sublow := a.closedExportWalkLocked(scope, scopeKey, ifc, sub, depth+1, onStack)
+		if sublow < low {
+			low = sublow
+		}
 		for _, n := range es.syscalls {
 			set[n] = true
 		}
 		failOpen = failOpen || es.failOpen
 	}
 	out := exportSet{syscalls: sortedSet(set), failOpen: failOpen}
-	a.exportMemo[key] = out
-	return out
+	if low >= depth {
+		// No cycle stays open above this node — either the subtree is
+		// acyclic or every cycle closed here, so the union is complete
+		// and safe to memoize. Only strictly-inside-a-cycle nodes
+		// (low < depth) carry partial sets.
+		a.exportMemo[key] = out
+	}
+	return out, low
 }
 
 // ProgramReport is the whole-program identification result.
@@ -304,7 +551,7 @@ func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 		return nil, err
 	}
 
-	conf := a.Config
+	conf := a.confFor()
 	wrappers, err := a.importWrappersFor(bin)
 	if err != nil {
 		return nil, err
@@ -333,19 +580,23 @@ func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 		Graph:     g,
 		CFGTime:   cfgTime,
 	}
+	a.mu.Lock()
+	scope := a.closureScopeLocked(bin.Needed)
+	scopeKey := scopeKeyOf(scope)
 	for _, sym := range rep.ReachableImports {
-		ifc, exp := a.findProvider(bin.Needed, sym)
+		ifc, exp := a.findProviderLocked(scope, bin.Needed, sym)
 		if ifc == nil {
 			out.FailOpen = true
 			continue
 		}
-		es := a.closedExportSet(ifc, exp)
+		es := a.closedExportSetLocked(scope, scopeKey, ifc, exp)
 		out.PerImport[sym] = es.syscalls
 		out.FailOpen = out.FailOpen || es.failOpen
 		for _, n := range es.syscalls {
 			set[n] = true
 		}
 	}
+	a.mu.Unlock()
 	out.Syscalls = sortedSet(set)
 	return out, nil
 }
@@ -357,7 +608,53 @@ func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 // sets. A module exporting a syscall wrapper cannot be bounded — its
 // numbers come from callers resolved only at runtime — and makes the
 // result fail-open.
-func (a *Analyzer) Module(bin *elff.Binary, name string) (syscalls []uint64, failOpen bool, err error) {
+//
+// host is the executable that loads the module (nil if unknown). Real
+// plugins routinely import symbols without declaring DT_NEEDED,
+// relying on the host process's already-loaded libraries; the module's
+// resolution scope is therefore its own dependency closure unioned
+// with the host's. That union is deterministic — it depends only on
+// the (module, host) pair, never on what else the analyzer has seen.
+func (a *Analyzer) Module(bin *elff.Binary, name string, host *elff.Binary) (syscalls []uint64, failOpen bool, err error) {
+	// A shallow copy with the widened DT_NEEDED list routes the host's
+	// closure through wrapper detection, the interface's Needed, and
+	// export-set resolution alike.
+	mbin := *bin
+	// The memoized export sets depend on the module's content and its
+	// resolution scope, so the interface key must identify the
+	// (module image, host image) pair — a base name alone would let
+	// same-named modules, or the same module under different hosts,
+	// poison each other's entries. An image without a content hash
+	// gets a never-reused serial: correctness over memoization.
+	ifcName := "module:" + name
+	unkeyed := false
+	if mbin.Hash != "" {
+		ifcName += "#" + mbin.Hash[:12]
+	} else {
+		unkeyed = true
+	}
+	if host != nil && len(host.Needed) > 0 {
+		merged := append([]string(nil), mbin.Needed...)
+		for _, n := range host.Needed {
+			found := false
+			for _, m := range merged {
+				found = found || m == n
+			}
+			if !found {
+				merged = append(merged, n)
+			}
+		}
+		mbin.Needed = merged
+		if host.Hash != "" {
+			ifcName += "@" + host.Hash[:12]
+		} else {
+			unkeyed = true
+		}
+	}
+	if unkeyed {
+		ifcName += fmt.Sprintf("!%d", a.moduleSeq.Add(1))
+	}
+	bin = &mbin
 	if err := a.ensureInterfaces(bin.Needed); err != nil {
 		return nil, false, err
 	}
@@ -365,23 +662,35 @@ func (a *Analyzer) Module(bin *elff.Binary, name string) (syscalls []uint64, fai
 	if err != nil {
 		return nil, false, err
 	}
-	conf := a.Config
-	ifc, err := AnalyzeLibrary(bin, "module:"+name, conf, wrappers)
+	ifc, err := AnalyzeLibrary(bin, ifcName, a.confFor(), wrappers)
 	if err != nil {
 		return nil, false, err
 	}
 	set := make(map[uint64]bool)
+	a.mu.Lock()
+	scope := a.closureScopeLocked(bin.Needed)
+	scopeKey := scopeKeyOf(scope)
 	for i := range ifc.Exports {
 		exp := &ifc.Exports[i]
 		if exp.Wrapper != nil {
 			failOpen = true
 		}
-		es := a.closedExportSet(ifc, exp)
+		es := a.closedExportSetLocked(scope, scopeKey, ifc, exp)
 		failOpen = failOpen || es.failOpen
 		for _, n := range es.syscalls {
 			set[n] = true
 		}
 	}
+	if unkeyed {
+		// A one-shot key can never be hit again: drop the module's own
+		// memo entries so repeated hash-less Module calls do not grow
+		// the memo without bound. (Entries for the regular libraries
+		// reached during the walk stay — those keys recur.)
+		for i := range ifc.Exports {
+			delete(a.exportMemo, scopeKey+"\x01"+ifc.Library+"\x00"+ifc.Exports[i].Name)
+		}
+	}
+	a.mu.Unlock()
 	return sortedSet(set), failOpen, nil
 }
 

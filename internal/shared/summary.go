@@ -1,0 +1,143 @@
+package shared
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bside/internal/elff"
+)
+
+// Cache entry kinds: the two artifact classes of the decoupled design —
+// per-library shared interfaces (Figure 3's L) and whole-program
+// identification summaries.
+const (
+	kindInterface = "interface"
+	kindProgram   = "program"
+)
+
+// Summary is the serializable reduced form of a ProgramReport: the
+// fields that survive a cache round trip. The CFG and the per-site
+// identification report are deliberately dropped — they dwarf the
+// summary and only matter for phase detection and diagnostics, which
+// re-analyze when needed.
+type Summary struct {
+	Syscalls  []uint64            `json:"syscalls,omitempty"`
+	FailOpen  bool                `json:"fail_open,omitempty"`
+	Wrappers  int                 `json:"wrappers,omitempty"`
+	Imports   []string            `json:"imports,omitempty"`
+	PerImport map[string][]uint64 `json:"per_import,omitempty"`
+	// Cached reports whether the summary was served from the store
+	// rather than computed. Not persisted.
+	Cached bool `json:"-"`
+}
+
+// Summarize reduces a full report to its cacheable summary.
+func Summarize(rep *ProgramReport) *Summary {
+	return &Summary{
+		Syscalls:  rep.Syscalls,
+		FailOpen:  rep.FailOpen,
+		Wrappers:  len(rep.Main.Wrappers),
+		Imports:   rep.Main.ReachableImports,
+		PerImport: rep.PerImport,
+	}
+}
+
+// confFingerprint encodes every analyzer setting that can change an
+// entry of the given kind. Entries stored under a different
+// fingerprint are misses, so tuning the analyzer never serves stale
+// results. MaxCFGInsns only bounds the main executable's CFG recovery
+// (AnalyzeLibrary does not use it), so it is folded into program
+// fingerprints only — retuning it must not bust the fleet's library
+// interfaces.
+func (a *Analyzer) confFingerprint(kind string) string {
+	c := a.Config
+	fp := fmt.Sprintf("bfs=%d frontier=%d stack=%d upper=%d",
+		c.MaxBFSDepth, c.MaxFrontier, c.StackParams, c.SyscallUpper)
+	if kind == kindProgram {
+		fp += fmt.Sprintf(" maxcfg=%d", a.MaxCFGInsns)
+	}
+	if c.Budget != nil {
+		fp += fmt.Sprintf(" budget=%d/%d/%d", c.Budget.MaxSteps, c.Budget.MaxForks, c.Budget.MaxVisits)
+	}
+	return fp
+}
+
+// depHashes resolves bin's transitive DT_NEEDED closure and renders
+// each member as name=sha256, sorted. A cached result is only valid
+// while every dependency image is byte-identical: upgrading a library
+// busts the entries of everything linking it, even though the
+// dependents' own images are unchanged.
+func (a *Analyzer) depHashes(bin *elff.Binary) (string, error) {
+	closure, err := a.depClosure(bin.Needed)
+	if err != nil {
+		return "", err
+	}
+	seen := make(map[string]string, len(closure))
+	for n := range closure {
+		dep, err := a.loadLib(n) // memoized by depClosure
+		if err != nil {
+			return "", err
+		}
+		if dep.Hash == "" {
+			return "", fmt.Errorf("shared: dependency %q has no content hash", n)
+		}
+		seen[n] = dep.Hash
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteByte('=')
+		sb.WriteString(seen[n])
+	}
+	return sb.String(), nil
+}
+
+// entryConf builds the cache fingerprint for entries of one kind
+// derived from bin, and reports whether caching is possible at all (a
+// store is configured, the image has a content hash, and the
+// dependency closure is hashable).
+func (a *Analyzer) entryConf(kind string, bin *elff.Binary) (string, bool) {
+	if a.Cache == nil || bin.Hash == "" {
+		return "", false
+	}
+	deps, err := a.depHashes(bin)
+	if err != nil {
+		return "", false
+	}
+	return a.confFingerprint(kind) + "|deps:" + deps, true
+}
+
+// ProgramSummary is the cache-aware analysis entry point. On a store
+// hit (same image, same configuration, byte-identical dependency
+// closure) it returns the persisted summary without decoding a single
+// instruction, and rep is nil. On a miss it runs Program, persists the
+// summary, and returns both.
+func (a *Analyzer) ProgramSummary(bin *elff.Binary) (*Summary, *ProgramReport, error) {
+	conf, confOK := a.entryConf(kindProgram, bin)
+	if confOK {
+		var sum Summary
+		if a.Cache.Load(kindProgram, bin.Hash, conf, &sum) {
+			sum.Cached = true
+			return &sum, nil, nil
+		}
+	}
+	rep, err := a.Program(bin)
+	if err != nil {
+		return nil, nil, err
+	}
+	sum := Summarize(rep)
+	if confOK {
+		// Best-effort: a failed store only costs a future re-analysis.
+		_ = a.Cache.Store(kindProgram, bin.Hash, conf, sum)
+	}
+	return sum, rep, nil
+}

@@ -93,7 +93,7 @@ func TestDlopenModuleWrapperFailsOpen(t *testing.T) {
 	}
 }
 
-func mustWrite(t *testing.T, bin *elff.Binary, path string) {
+func mustWrite(t testing.TB, bin *elff.Binary, path string) {
 	t.Helper()
 	if err := bin.WriteFile(path); err != nil {
 		t.Fatal(err)
