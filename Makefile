@@ -2,8 +2,9 @@
 # so the two invocations cannot drift.
 
 GO ?= go
+SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build vet fmt-check test race bench
+.PHONY: all build vet fmt-check test race bench bench-compare
 
 all: build vet fmt-check test
 
@@ -26,11 +27,25 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent paths: the shared-interface
-# analyzer, the on-disk cache, and the public batch API.
+# analyzer, the on-disk cache, the staged pipeline with its
+# intra-binary worker pool, and the public batch API.
 race:
-	$(GO) test -race ./internal/cache/... ./internal/shared/... .
+	$(GO) test -race ./internal/cache/... ./internal/shared/... \
+		./internal/pipeline/... ./internal/ident/... ./internal/cfg/... .
 
-# One-iteration benchmark smoke run; CI uploads the output as the
-# BENCH trajectory's source of truth.
+# One-iteration benchmark smoke run.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Benchmark comparison artifact: the cold/warm cache, serial/parallel
+# batch, and intra-binary large-binary benchmarks rendered as
+# BENCH_<sha>.json — the per-PR performance trajectory CI uploads.
+# The bench run lands in a temp file first: a pipe would mask bench
+# failures (sh reports the last pipe element), and the in-bench
+# worker-count drift guard must be able to fail this target.
+bench-compare:
+	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary' \
+		-benchtime=3x -count=1 . > bench-compare.tmp
+	$(GO) run ./cmd/benchjson -commit $(SHA) < bench-compare.tmp > BENCH_$(SHA).json
+	@rm -f bench-compare.tmp
+	@echo "wrote BENCH_$(SHA).json"

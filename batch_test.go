@@ -217,6 +217,47 @@ func TestAnalyzeAllUnusableCacheDir(t *testing.T) {
 	}
 }
 
+// TestAnalyzeAllStreamsResults: OnResult must fire once per binary as
+// analyses complete, before AnalyzeAll returns, with the same values
+// the result slice carries — the streaming surface batch mode flushes
+// JSON lines through.
+func TestAnalyzeAllStreamsResults(t *testing.T) {
+	paths, libDir := batchFixture(t, 6)
+	bad := filepath.Join(t.TempDir(), "missing")
+	all := append(append([]string{}, paths...), bad)
+
+	a := NewAnalyzer(Options{LibraryDir: libDir})
+	var streamed []*Analysis
+	results, err := a.AnalyzeAll(all, BatchOptions{
+		Jobs: 3,
+		OnResult: func(res *Analysis) {
+			// Serialized by AnalyzeAll: plain append must be safe.
+			streamed = append(streamed, res)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(all) {
+		t.Fatalf("streamed %d of %d results", len(streamed), len(all))
+	}
+	byPath := make(map[string]*Analysis, len(streamed))
+	for _, res := range streamed {
+		if byPath[res.Path] != nil {
+			t.Fatalf("%s streamed twice", res.Path)
+		}
+		byPath[res.Path] = res
+	}
+	for i, res := range results {
+		if byPath[all[i]] != res {
+			t.Fatalf("%s: streamed value is not the returned value", all[i])
+		}
+	}
+	if byPath[bad].Err == nil {
+		t.Fatal("failed binary must stream its error")
+	}
+}
+
 // TestAnalyzeFileWithCacheKeepsPhases: a cache miss still returns a
 // full analysis, so phases work on the first run even with caching on.
 func TestAnalyzeFileWithCacheKeepsPhases(t *testing.T) {

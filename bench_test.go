@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -317,6 +318,62 @@ func BenchmarkAnalyzeAllParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		a := NewAnalyzer(Options{})
 		runAnalyzeAll(b, a, paths, BatchOptions{}, false)
+	}
+}
+
+// --- intra-binary parallelism -------------------------------------------
+
+// writeLargeBinary materializes the large-binary workload (the paper's
+// hardest targets — libc-sized libraries, large servers): one binary
+// whose identification phase is dominated by deep backward searches
+// over many independent sites. Identification dwarfs decode here, so
+// the intra-binary worker pool has real work to spread.
+func writeLargeBinary(b *testing.B) string {
+	b.Helper()
+	bin, err := corpus.BuildProgram(corpus.Profile{
+		Name: "large", Kind: elff.KindStatic,
+		HotDirect: 16, HotWrapper: 6, HotStack: 3, Handlers: 4,
+		HotDeep: 40, DeepBlocks: 48,
+		ColdDirect: 12, ColdWrapper: 4, StackedTruth: 2,
+		Filler: 40, Seed: 77,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "large")
+	if err := bin.WriteFile(path); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkAnalyzeLargeBinary quantifies intra-binary parallelism on a
+// single large binary: the same analysis at 1 vs 4 workers. Results
+// are asserted identical across worker counts inside the loop — the
+// speedup must come for free, not from skipped work. (On a single-CPU
+// host the two sub-benchmarks necessarily tie; the parallel win needs
+// cores, which the CI runners have.)
+func BenchmarkAnalyzeLargeBinary(b *testing.B) {
+	path := writeLargeBinary(b)
+	var baseline []uint64
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := NewAnalyzer(Options{IntraWorkers: workers})
+				res, err := a.AnalyzeFile(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.FailOpen {
+					b.Fatal("large binary must stay bounded")
+				}
+				if baseline == nil {
+					baseline = res.Syscalls
+				} else if !reflect.DeepEqual(res.Syscalls, baseline) {
+					b.Fatalf("workers=%d drifted from the serial result", workers)
+				}
+			}
+		})
 	}
 }
 

@@ -3,12 +3,14 @@
 // runtime, without access to sources — a reproduction of "B-Side:
 // Binary-Level Static System Call Identification" (MIDDLEWARE 2024).
 //
-// The analysis disassembles the target, recovers a precise CFG with the
-// active-addresses-taken heuristic, detects syscall wrapper functions
-// with a two-phase heuristic, and determines each site's possible
-// syscall numbers with a backward search driven by directed forward
-// symbolic execution. Dynamically linked executables are resolved
-// against per-library shared interfaces computed once per library.
+// The analysis runs as an explicit staged pipeline per binary — decode
+// and precise-CFG recovery with the active-addresses-taken heuristic,
+// syscall-wrapper detection with a two-phase heuristic, per-site
+// identification via a backward search driven by directed forward
+// symbolic execution, and (for dynamic executables) stitching of
+// foreign calls against per-library shared interfaces computed once per
+// library. Each stage's wall-clock cost is recorded on the result's
+// Timings.
 //
 // Typical use — analyze one executable:
 //
@@ -36,6 +38,13 @@
 // content-addressed by the SHA-256 of the ELF image, so a binary — or a
 // library shared by a thousand binaries — is only ever analyzed once
 // per content version, across process lifetimes.
+//
+// Large single binaries parallelize *within* the analysis too: with
+// Options.IntraWorkers set, the wrapper-detection and identification
+// stages fan their independent units (functions, syscall sites) across
+// a bounded worker pool sharing one atomic symbolic-execution budget.
+// Results are byte-identical at any worker count — only the wall clock
+// changes.
 package bside
 
 import (
@@ -44,6 +53,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"bside/internal/cache"
 	"bside/internal/elff"
@@ -51,6 +61,7 @@ import (
 	"bside/internal/ident"
 	"bside/internal/linux"
 	"bside/internal/phases"
+	"bside/internal/pipeline"
 	"bside/internal/shared"
 )
 
@@ -64,6 +75,20 @@ type Options struct {
 	// generous default. Exceeding the bound fails the analysis, like
 	// the paper's wall-clock timeout.
 	MaxCFGInstructions int
+	// IntraWorkers is the intra-binary worker-pool size: how many
+	// independent analysis units (wrapper-detection functions,
+	// identification targets) of ONE binary run concurrently. 0 or 1
+	// is serial; negative values mean one worker per CPU. Results are
+	// identical at any setting — only wall-clock time changes. This
+	// composes with AnalyzeAll's across-binary pool; for large fleets
+	// of small binaries prefer BatchOptions.Jobs, for a few huge
+	// binaries (a libc, a browser) prefer IntraWorkers.
+	IntraWorkers int
+	// Timeout, when positive, bounds each analysis unit's wall clock —
+	// the paper's per-binary analysis timeout. An analysis that runs
+	// past it fails with a budget-exhausted error rather than running
+	// unbounded.
+	Timeout time.Duration
 	// Modules lists shared objects the target loads at runtime via
 	// dlopen-style mechanisms. Identifying them is the user's
 	// responsibility (as in the paper, §4.5); every exported function
@@ -105,6 +130,8 @@ func NewAnalyzer(opts Options) *Analyzer {
 	}
 	inner := shared.NewAnalyzer(load, ident.Config{})
 	inner.MaxCFGInsns = opts.MaxCFGInstructions
+	inner.Workers = opts.IntraWorkers
+	inner.Timeout = opts.Timeout
 	a := &Analyzer{inner: inner, modules: opts.Modules}
 	if opts.CacheDir != "" {
 		a.cache, a.cacheErr = cache.Open(opts.CacheDir)
@@ -130,6 +157,37 @@ func (a *Analyzer) CacheStats() CacheStats {
 	return CacheStats{Hits: st.Hits, Misses: st.Misses, Stores: st.Stores}
 }
 
+// Timings is the per-stage wall-clock cost record of one analysis —
+// the pipeline's observability surface (the paper's Table 3, per run).
+// Stages that did not run (Stitch for static binaries, Phases until
+// requested) are zero.
+type Timings struct {
+	// Decode is disassembly plus precise-CFG recovery (§4.3).
+	Decode time.Duration `json:"decode"`
+	// Wrappers is syscall-wrapper detection (§4.4 phase G).
+	Wrappers time.Duration `json:"wrappers"`
+	// Identify is the per-site backward search (§4.4 phase H).
+	Identify time.Duration `json:"identify"`
+	// Stitch is foreign-call resolution against shared-library
+	// interfaces (§4.5).
+	Stitch time.Duration `json:"stitch,omitempty"`
+	// Phases is execution-phase detection (§4.7), recorded when
+	// Analysis.Phases runs.
+	Phases time.Duration `json:"phases,omitempty"`
+	// Total sums the recorded stages.
+	Total time.Duration `json:"total"`
+}
+
+func timingsFrom(t pipeline.Timings) *Timings {
+	return &Timings{
+		Decode:   t.Get(pipeline.StageDecode),
+		Wrappers: t.Get(pipeline.StageWrappers),
+		Identify: t.Get(pipeline.StageIdentify),
+		Stitch:   t.Get(pipeline.StageStitch),
+		Total:    t.Total(),
+	}
+}
+
 // Analysis is the result of analyzing one executable.
 type Analysis struct {
 	// Path is the file the analysis describes (set by AnalyzeFile and
@@ -149,6 +207,9 @@ type Analysis struct {
 	// Cached reports that the result was served from the persistent
 	// cache. Cached analyses do not support Phases or Disassembly.
 	Cached bool
+	// Timings is the per-stage cost of the main binary's analysis; nil
+	// for cache-served results (nothing was computed).
+	Timings *Timings
 	// Err is the per-binary failure recorded by AnalyzeAll; when set,
 	// every other field except Path is zero.
 	Err error
@@ -183,6 +244,13 @@ func (a *Analyzer) AnalyzeBytes(data []byte) (*Analysis, error) {
 type BatchOptions struct {
 	// Jobs is the worker-pool size; 0 uses GOMAXPROCS.
 	Jobs int
+	// OnResult, when set, is invoked once per binary as soon as its
+	// analysis completes — in completion order, not path order — so
+	// long batches can stream progress instead of waiting for the
+	// slowest binary. Calls are serialized (no locking needed inside)
+	// and all happen before AnalyzeAll returns. The same *Analysis
+	// values appear in the returned slice.
+	OnResult func(res *Analysis)
 }
 
 // AnalyzeAll analyzes many executables concurrently over a bounded
@@ -206,6 +274,7 @@ func (a *Analyzer) AnalyzeAll(paths []string, opts BatchOptions) ([]*Analysis, e
 	results := make([]*Analysis, len(paths))
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
+	var emitMu sync.Mutex
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
@@ -216,6 +285,11 @@ func (a *Analyzer) AnalyzeAll(paths []string, opts BatchOptions) ([]*Analysis, e
 					res = &Analysis{Path: paths[i], Err: err}
 				}
 				results[i] = res
+				if opts.OnResult != nil {
+					emitMu.Lock()
+					opts.OnResult(res)
+					emitMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -247,6 +321,9 @@ func (a *Analyzer) analyze(bin *elff.Binary) (*Analysis, error) {
 			Cached:   sum.Cached,
 			report:   rep,
 		}
+		if rep != nil {
+			out.Timings = timingsFrom(rep.Timings)
+		}
 		return out, nil
 	}
 	rep, err := a.inner.Program(bin)
@@ -258,6 +335,7 @@ func (a *Analyzer) analyze(bin *elff.Binary) (*Analysis, error) {
 		FailOpen: rep.FailOpen,
 		Wrappers: len(rep.Main.Wrappers),
 		Imports:  rep.Main.ReachableImports,
+		Timings:  timingsFrom(rep.Timings),
 		report:   rep,
 	}
 	// dlopen-style modules the user declared: union their behaviour.
@@ -375,6 +453,7 @@ func (r *Analysis) Phases(opts PhaseOptions) (*PhaseReport, error) {
 	if r.FailOpen {
 		return nil, fmt.Errorf("bside: phase policies are meaningless for a fail-open analysis")
 	}
+	phaseStart := time.Now()
 	aut, err := phases.Detect(phases.Input{
 		Graph: r.report.Graph,
 		Emits: r.report.Emits(),
@@ -384,6 +463,13 @@ func (r *Analysis) Phases(opts PhaseOptions) (*PhaseReport, error) {
 	}
 	if opts.CompactBytes > 0 {
 		aut = aut.Compact(opts.CompactBytes)
+	}
+	if r.Timings != nil {
+		// The phases stage runs on demand; fold its cost into the
+		// analysis' stage record when it does.
+		r.Timings.Phases = time.Since(phaseStart)
+		r.Timings.Total = r.Timings.Decode + r.Timings.Wrappers +
+			r.Timings.Identify + r.Timings.Stitch + r.Timings.Phases
 	}
 	out := &PhaseReport{Start: aut.Start, Phases: make([]Phase, len(aut.Phases))}
 	for i, ph := range aut.Phases {

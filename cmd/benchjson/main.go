@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// a machine-readable JSON document (stdout) for the CI benchmark
+// trajectory: each PR's bench-compare run uploads a BENCH_<sha>.json
+// artifact built by this tool, so per-stage and cold/warm performance
+// is comparable across commits without scraping logs.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=3x . | benchjson -commit $(git rev-parse --short HEAD)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name string `json:"name"`
+	Runs int64  `json:"runs"`
+	// NsPerOp is the headline metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics carries any further unit pairs (B/op, allocs/op, custom).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the artifact schema.
+type Document struct {
+	Commit     string      `json:"commit,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Timestamp  string      `json:"timestamp"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	commit := flag.String("commit", "", "commit SHA to stamp into the document")
+	flag.Parse()
+
+	doc := Document{
+		Commit:     *commit,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: []Benchmark{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkName/sub-8   3   75190835 ns/op   12 B/op   1 allocs/op
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs}
+	// The remainder alternates value/unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = v
+	}
+	return b, b.NsPerOp > 0 || len(b.Metrics) > 0
+}

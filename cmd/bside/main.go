@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	bside [-libs dir] [-json] [-phases] [-policy] <binary>
-//	bside batch [-libs dir] [-cache dir] [-jobs n] [-max-insns n] <binary>...
+//	bside [-libs dir] [-json] [-phases] [-policy] [-workers n] [-timings] <binary>
+//	bside batch [-libs dir] [-cache dir] [-jobs n] [-workers n] [-max-insns n] <binary>...
 //
 // The batch form analyzes many binaries concurrently over a shared
 // interface cache, emitting one JSON object per binary (JSON lines) on
-// stdout and a cold/warm summary on stderr. With -cache, results are
-// persisted content-addressed on disk and reused by later runs.
+// stdout — each line flushed as soon as that binary's analysis
+// completes, so long fleets stream progress — and a cold/warm summary
+// on stderr. With -cache, results are persisted content-addressed on
+// disk and reused by later runs.
+//
+// -workers sets the intra-binary worker pool: how many independent
+// units (wrapper-detection functions, identification targets) of one
+// binary are analyzed concurrently. Results are identical at any
+// worker count.
 package main
 
 import (
@@ -37,20 +44,41 @@ func main() {
 	asPolicy := flag.Bool("policy", false, "emit a seccomp-style allow-list policy")
 	disasm := flag.Bool("disasm", false, "print the recovered disassembly listing")
 	maxInsns := flag.Int("max-insns", 0, "disassembly budget (0 = default)")
+	workers := flag.Int("workers", -1, "intra-binary analysis workers (-1 = one per CPU, 0/1 = serial)")
+	timings := flag.Bool("timings", false, "report per-stage analysis timings on stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bside [-libs dir] [-json] [-phases] [-policy] [-disasm] <binary>")
+		fmt.Fprintln(os.Stderr, "usage: bside [-libs dir] [-json] [-phases] [-policy] [-disasm] [-workers n] [-timings] <binary>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *libs, *asJSON, *withPhases, *asPolicy, *disasm, *maxInsns); err != nil {
+	if err := run(flag.Arg(0), *libs, *asJSON, *withPhases, *asPolicy, *disasm, *maxInsns, *workers, *timings); err != nil {
 		fmt.Fprintln(os.Stderr, "bside:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, libDir string, asJSON, withPhases, asPolicy, disasm bool, maxInsns int) error {
-	a := bside.NewAnalyzer(bside.Options{LibraryDir: libDir, MaxCFGInstructions: maxInsns})
+// printTimings renders the per-stage cost record (pipeline
+// observability) on stderr, keeping stdout clean for the result.
+func printTimings(t *bside.Timings) {
+	if t == nil {
+		fmt.Fprintln(os.Stderr, "timings: (cache-served, nothing computed)")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "timings: decode=%v wrappers=%v identify=%v stitch=%v",
+		t.Decode, t.Wrappers, t.Identify, t.Stitch)
+	if t.Phases > 0 {
+		fmt.Fprintf(os.Stderr, " phases=%v", t.Phases)
+	}
+	fmt.Fprintf(os.Stderr, " total=%v\n", t.Total)
+}
+
+func run(path, libDir string, asJSON, withPhases, asPolicy, disasm bool, maxInsns, workers int, timings bool) error {
+	a := bside.NewAnalyzer(bside.Options{
+		LibraryDir:         libDir,
+		MaxCFGInstructions: maxInsns,
+		IntraWorkers:       workers,
+	})
 	res, err := a.AnalyzeFile(path)
 	if err != nil {
 		return err
@@ -64,12 +92,18 @@ func run(path, libDir string, asJSON, withPhases, asPolicy, disasm bool, maxInsn
 		return nil
 	}
 	if asPolicy {
+		if timings {
+			printTimings(res.Timings)
+		}
 		return enc.Encode(res.Policy())
 	}
 	if withPhases {
 		pr, err := res.Phases(bside.PhaseOptions{})
 		if err != nil {
 			return err
+		}
+		if timings {
+			printTimings(res.Timings)
 		}
 		if asJSON {
 			return enc.Encode(pr)
@@ -81,14 +115,18 @@ func run(path, libDir string, asJSON, withPhases, asPolicy, disasm bool, maxInsn
 		}
 		return nil
 	}
+	if timings {
+		printTimings(res.Timings)
+	}
 	if asJSON {
 		return enc.Encode(struct {
-			Syscalls []uint64 `json:"syscalls"`
-			Names    []string `json:"names"`
-			FailOpen bool     `json:"fail_open,omitempty"`
-			Wrappers int      `json:"wrappers"`
-			Imports  []string `json:"imports,omitempty"`
-		}{res.Syscalls, res.Names(), res.FailOpen, res.Wrappers, res.Imports})
+			Syscalls []uint64       `json:"syscalls"`
+			Names    []string       `json:"names"`
+			FailOpen bool           `json:"fail_open,omitempty"`
+			Wrappers int            `json:"wrappers"`
+			Imports  []string       `json:"imports,omitempty"`
+			Timings  *bside.Timings `json:"timings,omitempty"`
+		}{res.Syscalls, res.Names(), res.FailOpen, res.Wrappers, res.Imports, res.Timings})
 	}
 
 	fmt.Printf("%d system calls identified", len(res.Syscalls))
@@ -121,10 +159,11 @@ func runBatch(args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
 	libs := fs.String("libs", "", "directory with shared-library dependencies")
 	cacheDir := fs.String("cache", "", "persistent content-addressed cache directory")
-	jobs := fs.Int("jobs", 0, "worker-pool size (0 = GOMAXPROCS)")
+	jobs := fs.Int("jobs", 0, "worker-pool size across binaries (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "intra-binary analysis workers per job (0/1 = serial, -1 = one per CPU)")
 	maxInsns := fs.Int("max-insns", 0, "disassembly budget per binary (0 = default)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: bside batch [-libs dir] [-cache dir] [-jobs n] [-max-insns n] <binary>...")
+		fmt.Fprintln(os.Stderr, "usage: bside batch [-libs dir] [-cache dir] [-jobs n] [-workers n] [-max-insns n] <binary>...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -139,37 +178,48 @@ func runBatch(args []string) error {
 		LibraryDir:         *libs,
 		CacheDir:           *cacheDir,
 		MaxCFGInstructions: *maxInsns,
+		IntraWorkers:       *workers,
 	})
 	start := time.Now()
-	results, err := a.AnalyzeAll(fs.Args(), bside.BatchOptions{Jobs: *jobs})
+
+	// Stream one JSON line per binary as its analysis completes (the
+	// OnResult calls are serialized by AnalyzeAll), so a long fleet
+	// shows progress instead of buffering behind the slowest binary.
+	enc := json.NewEncoder(os.Stdout)
+	var warm, cold, failed int
+	var encErr error
+	results, err := a.AnalyzeAll(fs.Args(), bside.BatchOptions{
+		Jobs: *jobs,
+		OnResult: func(res *bside.Analysis) {
+			line := batchLine{Path: res.Path}
+			if res.Err != nil {
+				failed++
+				line.Error = res.Err.Error()
+			} else {
+				if res.Cached {
+					warm++
+				} else {
+					cold++
+				}
+				line.Syscalls = res.Syscalls
+				line.Names = res.Names()
+				line.FailOpen = res.FailOpen
+				line.Wrappers = res.Wrappers
+				line.Cached = res.Cached
+			}
+			if err := enc.Encode(line); err != nil && encErr == nil {
+				encErr = err
+			}
+		},
+	})
 	if err != nil {
 		return err
 	}
+	if encErr != nil {
+		return encErr
+	}
 	elapsed := time.Since(start)
 
-	enc := json.NewEncoder(os.Stdout)
-	var warm, cold, failed int
-	for _, res := range results {
-		line := batchLine{Path: res.Path}
-		if res.Err != nil {
-			failed++
-			line.Error = res.Err.Error()
-		} else {
-			if res.Cached {
-				warm++
-			} else {
-				cold++
-			}
-			line.Syscalls = res.Syscalls
-			line.Names = res.Names()
-			line.FailOpen = res.FailOpen
-			line.Wrappers = res.Wrappers
-			line.Cached = res.Cached
-		}
-		if err := enc.Encode(line); err != nil {
-			return err
-		}
-	}
 	st := a.CacheStats()
 	fmt.Fprintf(os.Stderr, "bside batch: %d binaries in %v: %d analyzed (cold), %d from cache (warm), %d failed",
 		len(results), elapsed.Round(time.Millisecond), cold, warm, failed)

@@ -119,6 +119,17 @@ func (f *Func) End() uint64 {
 }
 
 // Graph is a recovered control-flow graph.
+//
+// Immutability contract: a Graph — including every Block, Edge and
+// Func hanging off it — is frozen once Recover returns. Nothing in
+// this package or its consumers may mutate it afterwards, and every
+// accessor is a pure read (no lazy caching), so any number of
+// goroutines can traverse one Graph concurrently without locking.
+// The intra-binary analysis pipeline depends on this: its
+// wrapper-detection and identification units all read the same Graph
+// from a worker pool. The contract is exercised by a concurrent-reader
+// test under the race detector; code needing a mutated variant must
+// re-Recover, never edit in place.
 type Graph struct {
 	Bin    *elff.Binary
 	Blocks map[uint64]*Block

@@ -103,6 +103,17 @@ type Profile struct {
 	HotWrapper int // calls to the local or libc register wrapper
 	HotStack   int // calls to the local Go-style stack wrapper
 	Handlers   int // function-pointer handlers with one site each
+	// HotDeep adds sites whose defining immediate sits DeepBlocks basic
+	// blocks above the syscall: the backward search must walk that many
+	// predecessor layers, re-seeding directed symbolic execution each
+	// layer, so identification cost grows quadratically with the
+	// distance while decode cost grows linearly. This is the workload
+	// shape — large straight-line functions, unrolled interpreters —
+	// where the identification phase dwarfs CFG recovery and
+	// intra-binary parallelism pays.
+	HotDeep int
+	// DeepBlocks is the block distance of HotDeep sites (0 = 24).
+	DeepBlocks int
 
 	// Cold-path composition (statically reachable only).
 	ColdDirect  int

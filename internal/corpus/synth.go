@@ -25,6 +25,7 @@ const (
 	patWrapper                         // register wrapper call
 	patStackWrapper                    // stack-parameter wrapper call
 	patHandler                         // via function pointer
+	patDeep                            // Figure 1 B at DeepBlocks block distance
 )
 
 // builder synthesizes one program.
@@ -60,17 +61,19 @@ func (s *builder) build() (*elff.Binary, error) {
 	p := s.p
 	b := s.b
 
-	hotVals := s.pick(hotPool, p.HotDirect+p.HotWrapper+p.HotStack+p.Handlers)
+	hotVals := s.pick(hotPool, p.HotDirect+p.HotWrapper+p.HotStack+p.Handlers+p.HotDeep)
 	coldVals := s.pick(coldPool, p.ColdDirect+p.ColdWrapper)
 	denied := s.pick(deniedPool, p.DeniedVals)
 
-	// Compose the emission plan.
-	var hotDirect, hotWrap, hotStackW, handlers []emission
+	// Compose the emission plan. The value pool is finite; plans larger
+	// than it (deep-search stress profiles) recycle values, which only
+	// narrows the ground-truth set, never breaks it.
+	var hotDirect, hotWrap, hotStackW, handlers, hotDeep []emission
 	idx := 0
 	take := func(n int, pat pattern, hot bool) []emission {
 		out := make([]emission, 0, n)
 		for i := 0; i < n; i++ {
-			out = append(out, emission{value: hotVals[idx], pattern: pat, hot: hot})
+			out = append(out, emission{value: hotVals[idx%len(hotVals)], pattern: pat, hot: hot})
 			idx++
 		}
 		return out
@@ -79,6 +82,7 @@ func (s *builder) build() (*elff.Binary, error) {
 	hotWrap = take(p.HotWrapper, patWrapper, true)
 	hotStackW = take(p.HotStack, patStackWrapper, true)
 	handlers = take(p.Handlers, patHandler, true)
+	hotDeep = take(p.HotDeep, patDeep, true)
 
 	// Pattern mix inside the direct sites: some cross-block beyond the
 	// Chestnut window, some through the stack.
@@ -140,10 +144,11 @@ func (s *builder) build() (*elff.Binary, error) {
 
 	// Split hot work into init / loop / shutdown segments so phase
 	// detection has temporal structure (§5.4).
-	all := make([]emission, 0, len(hotDirect)+len(hotWrap)+len(hotStackW))
+	all := make([]emission, 0, len(hotDirect)+len(hotWrap)+len(hotStackW)+len(hotDeep))
 	all = append(all, hotDirect...)
 	all = append(all, hotWrap...)
 	all = append(all, hotStackW...)
+	all = append(all, hotDeep...)
 	s.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
 	third := len(all) / 3
 	initSeg, loopSeg, downSeg := all[:third], all[third:2*third], all[2*third:]
@@ -247,6 +252,25 @@ func (s *builder) emit(e emission) {
 		b.MovMemImm32(x86.Mem{Base: x86.RSP, Index: x86.RegNone, Scale: 1, Disp: 24}, int32(e.value))
 		s.filler(6)
 		b.MovRegMem(x86.RAX, x86.Mem{Base: x86.RSP, Index: x86.RegNone, Scale: 1, Disp: 24})
+		b.Syscall()
+
+	case patDeep:
+		// The defining immediate sits DeepBlocks basic blocks above the
+		// syscall: jmp-next boundaries split the filler into a block
+		// chain (no forks — the jumps are unconditional), so the
+		// backward search pays one predecessor layer per block.
+		b.MovRegImm32(x86.RAX, uint32(e.value))
+		blocks := s.p.DeepBlocks
+		if blocks <= 0 {
+			blocks = 24
+		}
+		for i := 0; i < blocks; i++ {
+			s.fillN++
+			lbl := fmt.Sprintf("deep_%d", s.fillN)
+			b.JmpLabel(lbl)
+			b.Label(lbl)
+			s.filler(4)
+		}
 		b.Syscall()
 
 	case patWrapper:

@@ -4,12 +4,23 @@
 // confirmed by symbolic execution), and determining the possible %rax
 // values at each site via a backward breadth-first search over
 // predecessors combined with directed forward symbolic execution.
+//
+// The analysis is exposed in two shapes. Analyze runs everything and
+// returns the Report. Prepare returns a Pass whose two stages —
+// DetectWrappers and Identify — can be driven (and timed) separately by
+// the internal/pipeline package. Both stages decompose into independent
+// units (functions for wrapper detection, identification targets for the
+// backward search) and fan them across a bounded worker pool when
+// Config.Workers exceeds one; unit results are merged in a fixed order,
+// so the Report is identical at any worker count.
 package ident
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bside/internal/cfg"
@@ -18,15 +29,24 @@ import (
 )
 
 // ErrTimeout is returned when the shared symbolic-execution budget is
-// exhausted before the analysis completes — the in-process analog of
-// the paper's wall-clock analysis timeouts.
+// exhausted — by step count, fork count, or its wall-clock deadline —
+// before the analysis completes: the in-process analog of the paper's
+// analysis timeouts.
 var ErrTimeout = errors.New("ident: analysis budget exhausted")
 
 // Config tunes the identification pass.
 type Config struct {
 	// Budget is shared by every symbolic search in this analysis; nil
-	// gets a default.
+	// gets a default. Its counters are atomic, so the budget is shared
+	// soundly by concurrent units — and a deadline on it bounds the
+	// whole analysis' wall clock.
 	Budget *symex.Budget
+	// Workers is the intra-binary worker-pool size: how many analysis
+	// units (wrapper-detection functions, identification targets) run
+	// concurrently. 0 or 1 means serial. Any value yields an identical
+	// Report — it only changes wall-clock time, never results, so it is
+	// excluded from cache fingerprints.
+	Workers int
 	// MaxBFSDepth bounds how many predecessor layers the backward
 	// search may explore per site.
 	MaxBFSDepth int
@@ -139,7 +159,7 @@ type Report struct {
 	// Syscalls is the deduplicated, sorted union over all sites, with
 	// artifacts above SyscallUpper dropped.
 	Syscalls []uint64
-	// Sites holds per-target details.
+	// Sites holds per-target details, ordered by (Addr, Kind, Wrapper).
 	Sites []SiteResult
 	// Wrappers lists detected wrapper functions.
 	Wrappers []WrapperInfo
@@ -158,129 +178,227 @@ func (r *Report) HasSyscall(n uint64) bool {
 	return i < len(r.Syscalls) && r.Syscalls[i] == n
 }
 
-// Analyze identifies the system calls of the binary behind g.
+// Analyze identifies the system calls of the binary behind g, running
+// both stages back to back (across conf.Workers goroutines when set).
 func Analyze(g *cfg.Graph, conf Config) (*Report, error) {
-	conf = conf.withDefaults()
-	a := &analyzer{g: g, conf: conf, machine: symex.NewMachine(g, conf.Budget)}
-	return a.run()
+	p := Prepare(g, conf)
+	if err := p.DetectWrappers(); err != nil {
+		return nil, err
+	}
+	return p.Identify()
 }
 
-type analyzer struct {
+// Pass is the staged form of the identification analysis. A Pass is
+// built once per binary by Prepare; DetectWrappers and Identify then
+// run as distinct, separately timed pipeline stages. The Pass reads
+// the Graph but never mutates it, so its units can share the graph
+// with concurrent readers.
+type Pass struct {
 	g       *cfg.Graph
 	conf    Config
 	machine *symex.Machine
 	reach   map[*cfg.Block]bool
+
+	sites     []*cfg.Block // reachable syscall sites, address order
+	importSet map[string]bool
+	imports   []string
+
+	wrappers     map[uint64]*WrapperInfo // function entry -> info
+	wrapperInfos []WrapperInfo
+	wrapTime     time.Duration
 }
 
-func (a *analyzer) run() (*Report, error) {
-	rep := &Report{}
-	a.reach = a.g.Reachable(a.g.Roots...)
+// Prepare resolves the cheap shared facts of a binary's identification:
+// reachability, the reachable syscall sites, and the reachable imports.
+func Prepare(g *cfg.Graph, conf Config) *Pass {
+	conf = conf.withDefaults()
+	p := &Pass{g: g, conf: conf, machine: symex.NewMachine(g, conf.Budget)}
+	p.reach = g.Reachable(g.Roots...)
 
-	// Imports reachable from the roots.
-	importSet := make(map[string]bool)
-	for blk := range a.reach {
+	p.importSet = make(map[string]bool)
+	for blk := range p.reach {
 		if blk.ImportCall != "" {
-			importSet[blk.ImportCall] = true
+			p.importSet[blk.ImportCall] = true
 		}
 	}
-	rep.ReachableImports = sortedStrings(importSet)
+	p.imports = sortedStrings(p.importSet)
 
-	// Locate reachable syscall sites.
-	var sites []*cfg.Block
-	for _, blk := range a.g.SyscallBlocks() {
-		if a.reach[blk] {
-			sites = append(sites, blk)
+	for _, blk := range g.SyscallBlocks() {
+		if p.reach[blk] {
+			p.sites = append(p.sites, blk)
 		}
 	}
-	rep.Stats.SyscallSites = len(sites)
+	return p
+}
 
-	// Phase G: wrapper detection per containing function. Both
-	// positive and negative verdicts are cached per function; a
-	// function with several sites is only analyzed once.
-	wrapStart := time.Now()
-	wrappers := make(map[uint64]*WrapperInfo) // function entry -> info
-	checked := make(map[uint64]bool)
-	for _, site := range sites {
-		fn, ok := a.g.FuncContaining(site.Addr)
-		if !ok {
-			continue
+// SiteCount returns how many reachable syscall sites the pass covers.
+func (p *Pass) SiteCount() int { return len(p.sites) }
+
+// ReachableImports returns the imported symbols the binary can call.
+func (p *Pass) ReachableImports() []string { return p.imports }
+
+// Wrappers returns the wrappers found by DetectWrappers.
+func (p *Pass) Wrappers() []WrapperInfo { return p.wrapperInfos }
+
+// forEachUnit runs fn(i) for every unit index in [0, n) across at most
+// workers goroutines. fn must confine its writes to slot i of the
+// caller's result slice; the caller then merges slots in index order,
+// which is what makes the parallel analysis order-invariant. The
+// returned error is the lowest-index one, again independent of
+// scheduling.
+func forEachUnit(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		if checked[fn.Entry] {
-			continue
-		}
-		checked[fn.Entry] = true
-		info, isWrapper, err := a.detectWrapper(fn, site)
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("wrapper detection: %w", err)
+			return err
+		}
+	}
+	return nil
+}
+
+// DetectWrappers runs phase G — the two-phase wrapper heuristic — once
+// per distinct function containing a reachable syscall site. Functions
+// are independent units: each goroutine symbolically executes within
+// one function's blocks against the shared (atomic) budget. Both
+// positive and negative verdicts are kept, so a function with several
+// sites is only analyzed once.
+func (p *Pass) DetectWrappers() error {
+	start := time.Now()
+
+	// Unit list: distinct containing functions, in the address order of
+	// their first reachable site.
+	type unit struct {
+		fn   *cfg.Func
+		site *cfg.Block
+	}
+	var units []unit
+	seen := make(map[uint64]bool)
+	for _, site := range p.sites {
+		fn, ok := p.g.FuncContaining(site.Addr)
+		if !ok || seen[fn.Entry] {
+			continue
+		}
+		seen[fn.Entry] = true
+		units = append(units, unit{fn: fn, site: site})
+	}
+
+	results := make([]*WrapperInfo, len(units))
+	err := forEachUnit(len(units), p.conf.Workers, func(i int) error {
+		info, isWrapper, err := p.detectWrapper(units[i].fn, units[i].site)
+		if err != nil {
+			return fmt.Errorf("wrapper detection: %w", err)
 		}
 		if isWrapper {
-			wrappers[fn.Entry] = info
-			rep.Wrappers = append(rep.Wrappers, *info)
+			results[i] = info
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	p.wrappers = make(map[uint64]*WrapperInfo)
+	for _, info := range results {
+		if info != nil {
+			p.wrappers[info.FnEntry] = info
+			p.wrapperInfos = append(p.wrapperInfos, *info)
 		}
 	}
-	rep.Stats.WrapperDetect = time.Since(wrapStart)
-	rep.Stats.Wrappers = len(wrappers)
+	p.wrapTime = time.Since(start)
+	return nil
+}
 
-	// Phase H: per-site type identification.
+// Identify runs phase H — per-site type identification — and assembles
+// the Report. Each identification target (a plain site with its wrapper
+// redirections, or one import wrapper's call sites) is an independent
+// unit; unit results are merged in unit order, so the Report does not
+// depend on scheduling. DetectWrappers must have run first.
+func (p *Pass) Identify() (*Report, error) {
+	if p.wrappers == nil {
+		if err := p.DetectWrappers(); err != nil {
+			return nil, err
+		}
+	}
 	identStart := time.Now()
+
+	// Unit lists: one per reachable syscall site (covering the wrapper
+	// redirection fan-out), then one per import wrapper, in sorted name
+	// order — a fixed sequence regardless of map iteration.
+	siteUnits := p.sites
+	var importUnits []string
+	for name := range p.conf.ImportWrappers {
+		if p.importSet[name] {
+			importUnits = append(importUnits, name)
+		}
+	}
+	sort.Strings(importUnits)
+
+	results := make([][]SiteResult, len(siteUnits)+len(importUnits))
+	err := forEachUnit(len(results), p.conf.Workers, func(i int) error {
+		if i < len(siteUnits) {
+			results[i] = p.identifySiteUnit(siteUnits[i])
+		} else {
+			results[i] = p.identifyImportUnit(importUnits[i-len(siteUnits)])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Wrappers:         p.wrapperInfos,
+		ReachableImports: p.imports,
+	}
+	rep.Stats.SyscallSites = len(p.sites)
+	rep.Stats.Wrappers = len(p.wrappers)
+	rep.Stats.WrapperDetect = p.wrapTime
+
 	values := make(map[uint64]bool)
-	addResult := func(res SiteResult) {
-		rep.Sites = append(rep.Sites, res)
-		rep.Stats.BlocksExplored += res.BlocksExplored
-		if res.FailOpen {
-			rep.FailOpen = true
-		}
-		for _, v := range res.Syscalls {
-			if v < a.conf.SyscallUpper {
-				values[v] = true
+	for _, unit := range results {
+		for _, res := range unit {
+			rep.Sites = append(rep.Sites, res)
+			rep.Stats.BlocksExplored += res.BlocksExplored
+			if res.FailOpen {
+				rep.FailOpen = true
 			}
-		}
-	}
-
-	for _, site := range sites {
-		fn, _ := a.g.FuncContaining(site.Addr)
-		if fn != nil {
-			if w, isWrapper := wrappers[fn.Entry]; isWrapper {
-				// The wrapper's own site is recorded without values...
-				addResult(SiteResult{
-					Addr:    site.Last().Addr,
-					Block:   site,
-					Kind:    SiteWrapperDef,
-					Wrapper: fn.Entry,
-				})
-				// ...and each reachable call site of the wrapper is
-				// identified against the wrapper's number parameter.
-				for _, callBlk := range a.callSitesOf(fn.Entry) {
-					res := a.identify(callBlk, &w.Param)
-					res.Kind = SiteWrapperCall
-					res.Wrapper = fn.Entry
-					addResult(res)
+			for _, v := range res.Syscalls {
+				if v < p.conf.SyscallUpper {
+					values[v] = true
 				}
-				continue
 			}
-		}
-		res := a.identify(site, nil)
-		res.Kind = SitePlain
-		addResult(res)
-	}
-
-	// Import-wrapper call sites (e.g. libc's syscall() used by the
-	// program): identified against the parameter recorded in the
-	// library's shared interface.
-	for name, param := range a.conf.ImportWrappers {
-		if !importSet[name] {
-			continue
-		}
-		for _, callBlk := range a.importCallSites(name) {
-			p := param
-			res := a.identify(callBlk, &p)
-			res.Kind = SiteImportCall
-			addResult(res)
 		}
 	}
 
 	rep.Stats.Identify = time.Since(identStart)
-	if a.conf.Budget.Exhausted() {
+	if p.conf.Budget.Exhausted() {
 		return nil, fmt.Errorf("identification: %w", ErrTimeout)
 	}
 
@@ -289,14 +407,69 @@ func (a *analyzer) run() (*Report, error) {
 		rep.Syscalls = append(rep.Syscalls, v)
 	}
 	sort.Slice(rep.Syscalls, func(i, j int) bool { return rep.Syscalls[i] < rep.Syscalls[j] })
-	sort.Slice(rep.Sites, func(i, j int) bool { return rep.Sites[i].Addr < rep.Sites[j].Addr })
+	// One block can be the call site of several targets (an indirect
+	// call with multiple wrapper candidates), so Addr alone is not a
+	// total order; the (Kind, Wrapper) tiebreak keeps the listing
+	// stable across runs and worker counts.
+	sort.Slice(rep.Sites, func(i, j int) bool {
+		a, b := rep.Sites[i], rep.Sites[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Wrapper < b.Wrapper
+	})
 	return rep, nil
+}
+
+// identifySiteUnit resolves one reachable syscall site: either the site
+// itself (plain functions), or — when the containing function is a
+// wrapper — the wrapper-def record plus every reachable call site of
+// the wrapper, identified against the wrapper's number parameter.
+func (p *Pass) identifySiteUnit(site *cfg.Block) []SiteResult {
+	if fn, _ := p.g.FuncContaining(site.Addr); fn != nil {
+		if w, isWrapper := p.wrappers[fn.Entry]; isWrapper {
+			out := []SiteResult{{
+				Addr:    site.Last().Addr,
+				Block:   site,
+				Kind:    SiteWrapperDef,
+				Wrapper: fn.Entry,
+			}}
+			for _, callBlk := range p.callSitesOf(fn.Entry) {
+				res := p.identify(callBlk, &w.Param)
+				res.Kind = SiteWrapperCall
+				res.Wrapper = fn.Entry
+				out = append(out, res)
+			}
+			return out
+		}
+	}
+	res := p.identify(site, nil)
+	res.Kind = SitePlain
+	return []SiteResult{res}
+}
+
+// identifyImportUnit resolves every reachable call site of one imported
+// wrapper (e.g. libc's syscall() used by the program) against the
+// parameter recorded in the library's shared interface.
+func (p *Pass) identifyImportUnit(name string) []SiteResult {
+	param := p.conf.ImportWrappers[name]
+	var out []SiteResult
+	for _, callBlk := range p.importCallSites(name) {
+		pr := param
+		res := p.identify(callBlk, &pr)
+		res.Kind = SiteImportCall
+		out = append(out, res)
+	}
+	return out
 }
 
 // callSitesOf returns the reachable blocks that call the function at
 // entry (directly or through a resolved indirect edge).
-func (a *analyzer) callSitesOf(entry uint64) []*cfg.Block {
-	entryBlk, ok := a.g.BlockAt(entry)
+func (p *Pass) callSitesOf(entry uint64) []*cfg.Block {
+	entryBlk, ok := p.g.BlockAt(entry)
 	if !ok {
 		return nil
 	}
@@ -306,7 +479,7 @@ func (a *analyzer) callSitesOf(entry uint64) []*cfg.Block {
 		if e.Kind != cfg.EdgeCall && e.Kind != cfg.EdgeIndirectCall {
 			continue
 		}
-		if !a.reach[e.From] || seen[e.From] {
+		if !p.reach[e.From] || seen[e.From] {
 			continue
 		}
 		seen[e.From] = true
@@ -318,27 +491,27 @@ func (a *analyzer) callSitesOf(entry uint64) []*cfg.Block {
 
 // importCallSites returns reachable blocks that transfer to the named
 // import: direct calls through [rip+slot], and calls to its local stub.
-func (a *analyzer) importCallSites(name string) []*cfg.Block {
+func (p *Pass) importCallSites(name string) []*cfg.Block {
 	var out []*cfg.Block
 	seen := make(map[*cfg.Block]bool)
 	add := func(b *cfg.Block) {
-		if b != nil && a.reach[b] && !seen[b] {
+		if b != nil && p.reach[b] && !seen[b] {
 			seen[b] = true
 			out = append(out, b)
 		}
 	}
-	for blk := range a.reach {
+	for blk := range p.reach {
 		if blk.ImportCall == name && blk.Last().Op == x86.OpCallInd {
 			add(blk)
 		}
 	}
 	// Calls to the PLT-style stub: the stub block carries ImportCall
 	// and is reached via EdgeCall from the real call sites.
-	for stubAddr, stubName := range a.g.ImportStubs {
+	for stubAddr, stubName := range p.g.ImportStubs {
 		if stubName != name {
 			continue
 		}
-		if stub, ok := a.g.BlockAt(stubAddr); ok {
+		if stub, ok := p.g.BlockAt(stubAddr); ok {
 			for _, e := range stub.Preds {
 				if e.Kind == cfg.EdgeCall || e.Kind == cfg.EdgeIndirectCall {
 					add(e.From)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"bside/internal/asm"
 	"bside/internal/cfg"
@@ -324,6 +325,35 @@ func TestTimeoutPropagates(t *testing.T) {
 	_, err = Analyze(g, Config{Budget: &symex.Budget{MaxSteps: 50, MaxForks: 2, MaxVisits: 2}})
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+// TestDeadlinePropagates: a budget whose wall-clock deadline has passed
+// must time the analysis out exactly like an exhausted step budget —
+// the paper's per-binary timeout semantics.
+func TestDeadlinePropagates(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegReg(x86.RAX, x86.RDI)
+		b.Syscall()
+		b.Ret()
+	}, nil)
+	g, err := cfg.Recover(bin, cfg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := symex.NewBudget()
+	budget.Deadline = time.Now().Add(-time.Second)
+	_, err = Analyze(g, Config{Budget: budget})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+
+	// The same budget with a generous deadline succeeds.
+	budget = symex.NewBudget()
+	budget.Deadline = time.Now().Add(time.Hour)
+	if _, err := Analyze(g, Config{Budget: budget}); err != nil {
+		t.Fatalf("future deadline must not time out: %v", err)
 	}
 }
 

@@ -19,7 +19,7 @@ import (
 // If param is nil the queried value is %rax before the target's syscall
 // instruction; otherwise it is the given wrapper parameter before the
 // target's call instruction.
-func (a *analyzer) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
+func (p *Pass) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
 	res := SiteResult{Addr: target.Last().Addr, Block: target}
 	values := make(map[uint64]bool)
 
@@ -35,7 +35,7 @@ func (a *analyzer) identify(target *cfg.Block, param *symex.ParamRef) SiteResult
 	// evaluate runs forward from `from` and folds the observed values.
 	// It returns (allConcrete, reachedSite).
 	evaluate := func(from *cfg.Block) (bool, bool) {
-		run := a.machine.RunToSite(from, symex.NewState(), directed, target)
+		run := p.machine.RunToSite(from, symex.NewState(), directed, target)
 		res.BlocksExplored += run.BlocksExecuted
 		if run.HitBudget {
 			res.FailOpen = true
@@ -65,20 +65,20 @@ func (a *analyzer) identify(target *cfg.Block, param *symex.ParamRef) SiteResult
 		}
 		frontier := 0
 
-		for depth := 1; len(pending) > 0 && depth <= a.conf.MaxBFSDepth; depth++ {
+		for depth := 1; len(pending) > 0 && depth <= p.conf.MaxBFSDepth; depth++ {
 			var next []*cfg.Block
-			for _, p := range pending {
-				if visited[p] {
+			for _, blk := range pending {
+				if visited[blk] {
 					continue
 				}
-				visited[p] = true
+				visited[blk] = true
 				frontier++
-				if frontier > a.conf.MaxFrontier {
+				if frontier > p.conf.MaxFrontier {
 					res.FailOpen = true
 					break
 				}
-				directed[p] = true
-				allConcrete, _ := evaluate(p)
+				directed[blk] = true
+				allConcrete, _ := evaluate(blk)
 				if res.FailOpen {
 					break
 				}
@@ -86,7 +86,7 @@ func (a *analyzer) identify(target *cfg.Block, param *symex.ParamRef) SiteResult
 					// Immediate-defining: prune this path.
 					continue
 				}
-				preds := predBlocks(p)
+				preds := predBlocks(blk)
 				if len(preds) == 0 {
 					// The search ran off the top of the program (or an
 					// unreferenced root) without bounding the value.
@@ -99,7 +99,7 @@ func (a *analyzer) identify(target *cfg.Block, param *symex.ParamRef) SiteResult
 				break
 			}
 			pending = next
-			if len(pending) > 0 && depth == a.conf.MaxBFSDepth {
+			if len(pending) > 0 && depth == p.conf.MaxBFSDepth {
 				res.FailOpen = true
 			}
 		}

@@ -19,7 +19,7 @@ import (
 // parameters: a parameter-valued (or parameter-tainted) %rax at the
 // site qualifies the function as a wrapper and records which parameter
 // carries the syscall number.
-func (a *analyzer) detectWrapper(fn *cfg.Func, site *cfg.Block) (*WrapperInfo, bool, error) {
+func (p *Pass) detectWrapper(fn *cfg.Func, site *cfg.Block) (*WrapperInfo, bool, error) {
 	siteIdx := len(site.Insns) - 1
 
 	// Phase 1: cheap use-define chains; memory operands or values
@@ -34,7 +34,7 @@ func (a *analyzer) detectWrapper(fn *cfg.Func, site *cfg.Block) (*WrapperInfo, b
 	}
 
 	// Phase 2: symbolic confirmation.
-	entryBlk, ok := a.g.BlockAt(fn.Entry)
+	entryBlk, ok := p.g.BlockAt(fn.Entry)
 	if !ok {
 		return nil, false, nil
 	}
@@ -42,7 +42,7 @@ func (a *analyzer) detectWrapper(fn *cfg.Func, site *cfg.Block) (*WrapperInfo, b
 	for _, b := range fn.Blocks {
 		allowed[b] = true
 	}
-	res := a.machine.RunToSite(entryBlk, symex.NewEntryState(a.conf.StackParams), allowed, site)
+	res := p.machine.RunToSite(entryBlk, symex.NewEntryState(p.conf.StackParams), allowed, site)
 	if res.HitBudget {
 		return nil, false, ErrTimeout
 	}

@@ -1,0 +1,188 @@
+// Package pipeline structures B-Side's per-binary analysis as an
+// explicit staged pipeline over typed artifacts:
+//
+//	decode/CFG → wrapper detection → per-site identification → [stitch] → [phases]
+//
+// The first three stages run here, per binary; foreign-call stitching
+// and phase detection belong to the callers (internal/shared and the
+// public bside package) but report their cost through the same Timings
+// vocabulary, so one analysis carries a complete per-stage cost record
+// (the paper's Table 3, observable per run).
+//
+// Stages communicate through immutable artifacts: the recovered
+// cfg.Graph is read-only after StageDecode, and the ident.Pass reads it
+// without mutation, which is what lets the two identification stages
+// fan their independent units — functions for wrapper detection,
+// identification targets for the backward search — across a bounded
+// worker pool (Config.Workers) sharing one atomic symbolic-execution
+// budget. Unit results merge in a fixed order, so a Result is
+// byte-identical at any worker count.
+package pipeline
+
+import (
+	"runtime"
+	"time"
+
+	"bside/internal/cfg"
+	"bside/internal/elff"
+	"bside/internal/ident"
+	"bside/internal/symex"
+)
+
+// Stage names one step of the per-binary analysis pipeline.
+type Stage uint8
+
+// Pipeline stages, in execution order.
+const (
+	// StageDecode is disassembly plus precise-CFG recovery (§4.3).
+	StageDecode Stage = iota + 1
+	// StageWrappers is syscall-wrapper detection over the functions
+	// containing syscall sites (§4.4, phase G).
+	StageWrappers
+	// StageIdentify is the per-site backward search (§4.4, phase H).
+	StageIdentify
+	// StageStitch is foreign-call resolution against shared-library
+	// interfaces (§4.5); recorded by internal/shared.
+	StageStitch
+	// StagePhases is execution-phase detection (§4.7); recorded by the
+	// public package when requested.
+	StagePhases
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageDecode:
+		return "decode"
+	case StageWrappers:
+		return "wrappers"
+	case StageIdentify:
+		return "identify"
+	case StageStitch:
+		return "stitch"
+	case StagePhases:
+		return "phases"
+	}
+	return "?"
+}
+
+// Timing is one stage's wall-clock cost.
+type Timing struct {
+	Stage    Stage
+	Duration time.Duration
+}
+
+// Timings is the ordered per-stage cost record of one analysis.
+type Timings []Timing
+
+// Add appends one stage's cost.
+func (t *Timings) Add(s Stage, d time.Duration) {
+	*t = append(*t, Timing{Stage: s, Duration: d})
+}
+
+// Get returns the recorded cost of stage s (0 if the stage never ran).
+func (t Timings) Get(s Stage) time.Duration {
+	for _, tm := range t {
+		if tm.Stage == s {
+			return tm.Duration
+		}
+	}
+	return 0
+}
+
+// Total sums all recorded stages.
+func (t Timings) Total() time.Duration {
+	var sum time.Duration
+	for _, tm := range t {
+		sum += tm.Duration
+	}
+	return sum
+}
+
+// Config tunes one pipeline run.
+type Config struct {
+	// Ident is the identification configuration. Its Budget, if set, is
+	// used as-is (the caller owns per-unit budget cloning); nil gets a
+	// fresh default.
+	Ident ident.Config
+	// CFG configures StageDecode.
+	CFG cfg.Options
+	// Workers is the intra-binary worker-pool size for the two
+	// identification stages. 0 or 1 is serial; any negative value
+	// (canonically WorkersAuto) resolves to GOMAXPROCS. Results are
+	// identical at any value.
+	Workers int
+	// Timeout, when positive, stamps the run's budget with a wall-clock
+	// deadline before the first stage executes; a run past it fails
+	// with ident.ErrTimeout. The caller's Budget is cloned before
+	// stamping, never mutated. (internal/shared stamps deadlines in its
+	// own per-unit budget cloning instead and leaves this zero.)
+	Timeout time.Duration
+}
+
+// WorkersAuto asks for one worker per available CPU.
+const WorkersAuto = -1
+
+// resolveWorkers maps the Workers knob to a concrete pool size.
+func resolveWorkers(w int) int {
+	if w < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+// Result is the typed artifact bundle of one per-binary run.
+type Result struct {
+	// Graph is the recovered CFG — immutable from here on.
+	Graph *cfg.Graph
+	// Report is the identification result.
+	Report *ident.Report
+	// Timings records the cost of every stage that ran.
+	Timings Timings
+}
+
+// Run executes the per-binary stages — decode, wrapper detection,
+// identification — over bin and returns the artifacts with per-stage
+// timings. Stitching (for dynamic binaries) is the caller's stage; its
+// cost should be appended to the returned Timings.
+func Run(bin *elff.Binary, conf Config) (*Result, error) {
+	conf.Ident.Workers = resolveWorkers(conf.Workers)
+	if conf.Timeout > 0 {
+		if conf.Ident.Budget == nil {
+			conf.Ident.Budget = symex.NewBudget()
+		} else {
+			conf.Ident.Budget = conf.Ident.Budget.Clone()
+		}
+		conf.Ident.Budget.Deadline = time.Now().Add(conf.Timeout)
+	}
+	out := &Result{}
+
+	start := time.Now()
+	g, err := cfg.Recover(bin, conf.CFG)
+	out.Timings.Add(StageDecode, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	out.Graph = g
+
+	pass := ident.Prepare(g, conf.Ident)
+
+	start = time.Now()
+	err = pass.DetectWrappers()
+	out.Timings.Add(StageWrappers, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	rep, err := pass.Identify()
+	out.Timings.Add(StageIdentify, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	out.Report = rep
+	return out, nil
+}

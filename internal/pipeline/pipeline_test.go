@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"bside/internal/cfg"
+	"bside/internal/corpus"
+	"bside/internal/elff"
+	"bside/internal/ident"
+)
+
+// testBinary synthesizes a mid-sized static binary with enough
+// wrappers, handlers and sites to exercise every stage.
+func testBinary(t testing.TB) *elff.Binary {
+	t.Helper()
+	bin, err := corpus.BuildProgram(corpus.Profile{
+		Name: "pipe", Kind: elff.KindStatic,
+		HotDirect: 12, HotWrapper: 4, HotStack: 2, Handlers: 2,
+		ColdDirect: 8, ColdWrapper: 2, StackedTruth: 1,
+		Filler: 30, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// TestRunMatchesMonolithicAnalyze: the staged pipeline must produce
+// exactly what cfg.Recover + ident.Analyze produce.
+func TestRunMatchesMonolithicAnalyze(t *testing.T) {
+	bin := testBinary(t)
+
+	g, err := cfg.Recover(bin, cfg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ident.Analyze(g, ident.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(bin, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Report.Syscalls, want.Syscalls) {
+		t.Fatalf("syscalls drifted: %v vs %v", res.Report.Syscalls, want.Syscalls)
+	}
+	if res.Report.FailOpen != want.FailOpen {
+		t.Fatal("fail-open drifted")
+	}
+	if len(res.Report.Wrappers) != len(want.Wrappers) {
+		t.Fatalf("wrappers drifted: %d vs %d", len(res.Report.Wrappers), len(want.Wrappers))
+	}
+}
+
+// TestTimingsRecorded: every per-binary stage must appear, in pipeline
+// order, and Total must be their sum.
+func TestTimingsRecorded(t *testing.T) {
+	res, err := Run(testBinary(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []Stage{StageDecode, StageWrappers, StageIdentify}
+	if len(res.Timings) != len(wantOrder) {
+		t.Fatalf("timings: %v", res.Timings)
+	}
+	var sum time.Duration
+	for i, tm := range res.Timings {
+		if tm.Stage != wantOrder[i] {
+			t.Fatalf("stage %d = %v, want %v", i, tm.Stage, wantOrder[i])
+		}
+		sum += tm.Duration
+	}
+	if res.Timings.Total() != sum {
+		t.Fatal("Total is not the stage sum")
+	}
+	if res.Timings.Get(StageDecode) <= 0 {
+		t.Fatal("decode cost not measured")
+	}
+	if res.Timings.Get(StageStitch) != 0 {
+		t.Fatal("stitch must be absent for a static binary")
+	}
+}
+
+// siteKey reduces a SiteResult to its scheduling-independent identity.
+type siteKey struct {
+	Addr     uint64
+	Kind     ident.SiteKind
+	Wrapper  uint64
+	Syscalls string
+	FailOpen bool
+}
+
+func normalize(rep *ident.Report) []siteKey {
+	out := make([]siteKey, 0, len(rep.Sites))
+	for _, s := range rep.Sites {
+		key := siteKey{Addr: s.Addr, Kind: s.Kind, Wrapper: s.Wrapper, FailOpen: s.FailOpen}
+		key.Syscalls = fmt.Sprint(s.Syscalls)
+		out = append(out, key)
+	}
+	return out
+}
+
+// TestWorkerCountInvariance: the whole Report — values, per-site
+// details, ordering — must be identical at 1, 4 and 8 workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	bin := testBinary(t)
+	base, err := Run(bin, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		res, err := Run(bin, Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(res.Report.Syscalls, base.Report.Syscalls) {
+			t.Fatalf("workers=%d: syscalls drifted", workers)
+		}
+		if !reflect.DeepEqual(normalize(res.Report), normalize(base.Report)) {
+			t.Fatalf("workers=%d: site details or ordering drifted", workers)
+		}
+		if !reflect.DeepEqual(res.Report.Wrappers, base.Report.Wrappers) {
+			t.Fatalf("workers=%d: wrappers drifted", workers)
+		}
+		if !reflect.DeepEqual(res.Report.ReachableImports, base.Report.ReachableImports) {
+			t.Fatalf("workers=%d: imports drifted", workers)
+		}
+		if res.Report.Stats.BlocksExplored != base.Report.Stats.BlocksExplored {
+			t.Fatalf("workers=%d: explored %d blocks, serial explored %d",
+				workers, res.Report.Stats.BlocksExplored, base.Report.Stats.BlocksExplored)
+		}
+	}
+}
+
+// TestDeadlineTimesOut: a deadline already in the past must surface as
+// ident.ErrTimeout, the paper's wall-clock timeout semantics.
+func TestDeadlineTimesOut(t *testing.T) {
+	_, err := Run(testBinary(t), Config{Timeout: time.Nanosecond})
+	if !errors.Is(err, ident.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}

@@ -11,9 +11,9 @@ import (
 	"os"
 	"sort"
 
-	"bside/internal/cfg"
 	"bside/internal/elff"
 	"bside/internal/ident"
+	"bside/internal/pipeline"
 	"bside/internal/symex"
 	"bside/internal/x86"
 )
@@ -102,21 +102,19 @@ func LoadInterface(path string) (*Interface, error) {
 	return &ifc, nil
 }
 
-// AnalyzeLibrary performs the expensive once-per-library phase: CFG
-// recovery, wrapper detection and per-site identification, folded into
-// the library's shared interface. importWrappers carries wrapper
-// information for the library's own dependencies (resolved first by the
-// dependency ordering in Analyzer).
+// AnalyzeLibrary performs the expensive once-per-library phase — the
+// decode, wrapper-detection and identification stages of the pipeline,
+// folded into the library's shared interface. importWrappers carries
+// wrapper information for the library's own dependencies (resolved
+// first by the dependency ordering in Analyzer). conf.Workers spreads
+// the library's own identification units across the intra-binary pool.
 func AnalyzeLibrary(bin *elff.Binary, name string, conf ident.Config, importWrappers map[string]symex.ParamRef) (*Interface, error) {
-	g, err := cfg.Recover(bin, cfg.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("shared: %s: %w", name, err)
-	}
 	conf.ImportWrappers = importWrappers
-	rep, err := ident.Analyze(g, conf)
+	res, err := pipeline.Run(bin, pipeline.Config{Ident: conf, Workers: conf.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("shared: %s: %w", name, err)
 	}
+	g, rep := res.Graph, res.Report
 	profiles := ident.ExportProfiles(g, rep)
 
 	ifc := &Interface{

@@ -15,6 +15,7 @@ import (
 	"bside/internal/elff"
 	"bside/internal/ident"
 	"bside/internal/phases"
+	"bside/internal/pipeline"
 	"bside/internal/symex"
 )
 
@@ -41,6 +42,15 @@ type Analyzer struct {
 	// cfg.Recover's default); the Table 2 harness uses it to bound
 	// per-binary analysis like the paper's wall-clock timeout.
 	MaxCFGInsns int
+	// Workers is the intra-binary worker-pool size handed to the
+	// analysis pipeline: wrapper-detection and site-identification
+	// units of one binary run across this many goroutines. 0 or 1 is
+	// serial. Results are identical at any worker count.
+	Workers int
+	// Timeout, when positive, stamps each analysis unit's budget with a
+	// wall-clock deadline (the paper's per-binary timeout); an analysis
+	// past it fails with ident.ErrTimeout.
+	Timeout time.Duration
 	// InterfaceDir, when set, persists each library's shared interface
 	// as a JSON file (<name>.interface.json) and reuses it on later
 	// runs — the once-per-library artifact of the paper's Figure 3 (L).
@@ -136,10 +146,15 @@ func (a *Analyzer) Interfaces() map[string]*Interface {
 // a private budget, so concurrent units cannot race on the counters.
 func (a *Analyzer) confFor() ident.Config {
 	conf := a.Config
+	conf.Workers = a.Workers
 	if conf.Budget != nil {
-		b := *conf.Budget
-		b.Steps, b.Forks = 0, 0
-		conf.Budget = &b
+		conf.Budget = conf.Budget.Clone()
+	}
+	if a.Timeout > 0 {
+		if conf.Budget == nil {
+			conf.Budget = symex.NewBudget()
+		}
+		conf.Budget.Deadline = time.Now().Add(a.Timeout)
 	}
 	return conf
 }
@@ -497,8 +512,11 @@ type ProgramReport struct {
 	// diagnostics build on it).
 	Graph *cfg.Graph
 	// CFGTime is the wall-clock cost of the main binary's CFG recovery
-	// (Table 3's dominant column).
+	// (Table 3's dominant column). Equal to Timings.Get(StageDecode).
 	CFGTime time.Duration
+	// Timings is the per-stage cost record of the main binary's
+	// analysis: decode, wrappers, identify, and stitch.
+	Timings pipeline.Timings
 }
 
 // Emits derives the phase-detection emission map for the program: the
@@ -543,9 +561,12 @@ func mergeSets(a, b []uint64) []uint64 {
 	return sortedSet(set)
 }
 
-// Program analyzes an executable: for static binaries this is plain
-// identification; for dynamic ones, library interfaces are computed (or
-// reused) and foreign calls are folded in.
+// Program analyzes an executable through the staged pipeline: decode,
+// wrapper detection and per-site identification run in
+// internal/pipeline (fanned across a.Workers goroutines within the
+// binary); for dynamic executables, library interfaces are computed (or
+// reused) first and the foreign-call stitching stage folds them in. The
+// per-stage costs are recorded on the report's Timings.
 func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 	if err := a.ensureInterfaces(bin.Needed); err != nil {
 		return nil, err
@@ -558,17 +579,19 @@ func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 	}
 	conf.ImportWrappers = wrappers
 
-	cfgStart := time.Now()
-	g, err := cfg.Recover(bin, cfg.Options{MaxInsns: a.MaxCFGInsns})
-	cfgTime := time.Since(cfgStart)
+	res, err := pipeline.Run(bin, pipeline.Config{
+		Ident:   conf,
+		CFG:     cfg.Options{MaxInsns: a.MaxCFGInsns},
+		Workers: conf.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
-	rep, err := ident.Analyze(g, conf)
-	if err != nil {
-		return nil, err
-	}
+	g, rep := res.Graph, res.Report
 
+	// Stitch stage: resolve each reachable foreign call against the
+	// dependency closure's interfaces and union the results.
+	stitchStart := time.Now()
 	set := make(map[uint64]bool)
 	for _, n := range rep.Syscalls {
 		set[n] = true
@@ -578,7 +601,8 @@ func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 		FailOpen:  rep.FailOpen,
 		PerImport: make(map[string][]uint64),
 		Graph:     g,
-		CFGTime:   cfgTime,
+		CFGTime:   res.Timings.Get(pipeline.StageDecode),
+		Timings:   res.Timings,
 	}
 	a.mu.Lock()
 	scope := a.closureScopeLocked(bin.Needed)
@@ -598,6 +622,7 @@ func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 	}
 	a.mu.Unlock()
 	out.Syscalls = sortedSet(set)
+	out.Timings.Add(pipeline.StageStitch, time.Since(stitchStart))
 	return out, nil
 }
 

@@ -1,6 +1,9 @@
 package symex
 
 import (
+	"sync/atomic"
+	"time"
+
 	"bside/internal/cfg"
 	"bside/internal/x86"
 )
@@ -8,13 +11,24 @@ import (
 // Budget bounds the work one symbolic search may perform. A search that
 // exhausts its budget is reported as inconclusive — the analysis-level
 // analog of the paper's timeouts.
+//
+// A Budget is safe for concurrent use: one budget may be shared by many
+// machines running on different goroutines (the intra-binary worker
+// pool), with the step and fork counters accumulated atomically. The
+// Max* limits and Deadline are configuration — set them before the
+// first search and leave them alone afterwards.
 type Budget struct {
 	MaxSteps  int // instructions executed across all paths
 	MaxForks  int // path splits
 	MaxVisits int // times one path may re-enter the same block
 
-	Steps int
-	Forks int
+	// Deadline, when non-zero, bounds the wall clock: a search running
+	// past it is exhausted regardless of remaining steps, matching the
+	// paper's per-binary analysis timeouts.
+	Deadline time.Time
+
+	steps atomic.Int64
+	forks atomic.Int64
 }
 
 // NewBudget returns a budget with defaults suitable for whole-binary
@@ -23,9 +37,36 @@ func NewBudget() *Budget {
 	return &Budget{MaxSteps: 500_000, MaxForks: 8_192, MaxVisits: 3}
 }
 
-// Exhausted reports whether any limit was hit.
+// Clone returns a budget with the same limits and deadline but fresh
+// counters — one analysis unit's consumption must not drain another's.
+func (b *Budget) Clone() *Budget {
+	return &Budget{
+		MaxSteps:  b.MaxSteps,
+		MaxForks:  b.MaxForks,
+		MaxVisits: b.MaxVisits,
+		Deadline:  b.Deadline,
+	}
+}
+
+// AddSteps accrues n executed instructions.
+func (b *Budget) AddSteps(n int) { b.steps.Add(int64(n)) }
+
+// AddFork accrues one path split.
+func (b *Budget) AddFork() { b.forks.Add(1) }
+
+// Steps returns the instructions executed so far across all paths.
+func (b *Budget) Steps() int { return int(b.steps.Load()) }
+
+// Forks returns the path splits so far.
+func (b *Budget) Forks() int { return int(b.forks.Load()) }
+
+// Exhausted reports whether any limit was hit: steps, forks, or the
+// wall-clock deadline.
 func (b *Budget) Exhausted() bool {
-	return b.Steps >= b.MaxSteps || b.Forks >= b.MaxForks
+	if int(b.steps.Load()) >= b.MaxSteps || int(b.forks.Load()) >= b.MaxForks {
+		return true
+	}
+	return !b.Deadline.IsZero() && time.Now().After(b.Deadline)
 }
 
 // Result is the outcome of a directed run.
@@ -102,11 +143,12 @@ func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Bloc
 		n := len(t.blk.Insns)
 
 		// Execute the block body (everything but the last instruction).
+		// The whole block is charged in one atomic add so a budget
+		// shared across worker goroutines is not a contention point.
 		for _, in := range t.blk.Insns[:n-1] {
 			m.step(st, in)
-			m.budget.Steps++
 		}
-		m.budget.Steps++
+		m.budget.AddSteps(n)
 
 		if t.blk == site {
 			res.SiteStates = append(res.SiteStates, st)
@@ -129,7 +171,7 @@ func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Bloc
 			to := succOf(t.blk, cfg.EdgeJump)
 			fall := succOf(t.blk, cfg.EdgeFall)
 			if inSet(to) && inSet(fall) {
-				m.budget.Forks++
+				m.budget.AddFork()
 				push(fall, st.Clone())
 				push(to, st)
 			} else if inSet(to) {
@@ -179,7 +221,7 @@ func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Bloc
 				}
 				s2 := st.Clone()
 				m.pushRet(s2, last.Next())
-				m.budget.Forks++
+				m.budget.AddFork()
 				push(e.To, s2)
 			}
 			if inSet(fall) {
@@ -208,7 +250,7 @@ func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Bloc
 				if e.Kind != cfg.EdgeIndirectJump || !inSet(e.To) {
 					continue
 				}
-				m.budget.Forks++
+				m.budget.AddFork()
 				push(e.To, st.Clone())
 			}
 
