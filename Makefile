@@ -4,7 +4,7 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build vet fmt-check test race bench bench-compare
+.PHONY: all build vet fmt-check test race bench bench-compare fuzz fuzz-nightly
 
 all: build vet fmt-check test
 
@@ -28,10 +28,12 @@ test:
 
 # Race-detector pass over the concurrent paths: the shared-interface
 # analyzer, the on-disk cache, the staged pipeline with its
-# intra-binary worker pool, and the public batch API.
+# intra-binary worker pool, the public batch API, and the fuzzing
+# harness (whose invariance legs fan analyses across worker pools).
 race:
 	$(GO) test -race ./internal/cache/... ./internal/shared/... \
-		./internal/pipeline/... ./internal/ident/... ./internal/cfg/... .
+		./internal/pipeline/... ./internal/ident/... ./internal/cfg/... \
+		./internal/fuzzer/... .
 
 # One-iteration benchmark smoke run.
 bench:
@@ -49,3 +51,18 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -commit $(SHA) < bench-compare.tmp > BENCH_$(SHA).json
 	@rm -f bench-compare.tmp
 	@echo "wrote BENCH_$(SHA).json"
+
+# Randomized corpus fuzzing: soundness + invariance + baseline-sanity
+# oracle over a seed range, JSON verdict lines on stdout, non-zero exit
+# on any violation. Failing seeds are shrunk to minimal reproducers
+# under fuzz-repros/ (promote fixed ones into
+# internal/fuzzer/testdata/regressions/).
+FUZZ_SEEDS ?= 50
+FUZZ_START ?= 1
+fuzz:
+	$(GO) run ./cmd/bside fuzz -seeds $(FUZZ_SEEDS) -start $(FUZZ_START) -repro fuzz-repros
+
+# The nightly CI shape: a wider seed range under the race detector.
+FUZZ_NIGHTLY_SEEDS ?= 400
+fuzz-nightly:
+	$(GO) run -race ./cmd/bside fuzz -seeds $(FUZZ_NIGHTLY_SEEDS) -start $(FUZZ_START) -repro fuzz-repros

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads `go test -bench` text output from r and assembles the
+// artifact document (Timestamp left for the caller to stamp). It never
+// fails on unrecognized lines — test logs interleave freely with bench
+// results — only on a read error.
+func Parse(r io.Reader, commit string) (Document, error) {
+	doc := Document{
+		Commit:     commit,
+		Benchmarks: []Benchmark{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkName/sub-8   3   75190835 ns/op   12 B/op   1 allocs/op
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs}
+	// The remainder alternates value/unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = v
+	}
+	return b, b.NsPerOp > 0 || len(b.Metrics) > 0
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want Benchmark
+		ok   bool
+	}{
+		{
+			name: "plain ns/op",
+			line: "BenchmarkAnalyzeAllColdCache-8   3   75190835 ns/op",
+			want: Benchmark{Name: "BenchmarkAnalyzeAllColdCache-8", Runs: 3, NsPerOp: 75190835},
+			ok:   true,
+		},
+		{
+			name: "with allocation metrics",
+			line: "BenchmarkAnalyzeLargeBinary/workers=4-8   3   1234.5 ns/op   12 B/op   1 allocs/op",
+			want: Benchmark{
+				Name: "BenchmarkAnalyzeLargeBinary/workers=4-8", Runs: 3, NsPerOp: 1234.5,
+				Metrics: map[string]float64{"B/op": 12, "allocs/op": 1},
+			},
+			ok: true,
+		},
+		{
+			name: "custom metric only",
+			line: "BenchmarkCacheHitRate-8   10   0.97 hits/op",
+			want: Benchmark{
+				Name: "BenchmarkCacheHitRate-8", Runs: 10,
+				Metrics: map[string]float64{"hits/op": 0.97},
+			},
+			ok: true,
+		},
+		{name: "too few fields", line: "BenchmarkX-8 3 100", ok: false},
+		{name: "runs not a number", line: "BenchmarkX-8 fast 100 ns/op", ok: false},
+		{name: "no parsable metric", line: "BenchmarkX-8 3 fast ns/op", ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseBench(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if ok && !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("got %+v\nwant %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseDocument(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: bside",
+		"cpu: Intel(R) Xeon(R)",
+		"BenchmarkAnalyzeAllSerial-8   3   100 ns/op",
+		"some interleaved test log line",
+		"--- PASS: TestSomething (0.01s)",
+		"BenchmarkAnalyzeAllParallel-8   3   50 ns/op",
+		"PASS",
+		"ok   bside   1.234s",
+	}, "\n")
+	doc, err := Parse(strings.NewReader(input), "abc1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Commit != "abc1234" || doc.Goos != "linux" || doc.Goarch != "amd64" ||
+		doc.Pkg != "bside" || doc.CPU != "Intel(R) Xeon(R)" {
+		t.Fatalf("header fields: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("benchmarks: %+v", doc.Benchmarks)
+	}
+	if doc.Benchmarks[0].Name != "BenchmarkAnalyzeAllSerial-8" || doc.Benchmarks[1].NsPerOp != 50 {
+		t.Fatalf("benchmarks: %+v", doc.Benchmarks)
+	}
+	if doc.Timestamp != "" {
+		t.Fatal("Parse must leave the timestamp for the caller")
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	doc, err := Parse(strings.NewReader(""), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Benchmarks == nil || len(doc.Benchmarks) != 0 {
+		t.Fatalf("empty input must yield an empty (non-nil) benchmark list: %#v", doc.Benchmarks)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bside/internal/fuzzer"
+)
+
+// runFuzz drives the randomized corpus fuzzing harness: one JSON
+// verdict line per seed on stdout, a summary on stderr, and a non-zero
+// exit when any seed violates the soundness, invariance or
+// baseline-sanity oracle. CI's nightly job and developers run exactly
+// this code path, so a failure found anywhere reproduces everywhere
+// from the seed alone.
+func runFuzz(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seeds := fs.Int("seeds", 50, "how many consecutive seeds to check")
+	start := fs.Int64("start", 1, "first seed of the range")
+	repro := fs.String("repro", "", "directory to write shrunk reproducers for failing seeds")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: bside fuzz [-seeds n] [-start s] [-repro dir]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usageError{err}
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return usageError{fmt.Errorf("fuzz: unexpected arguments: %v", fs.Args())}
+	}
+	if *seeds <= 0 {
+		return usageError{fmt.Errorf("fuzz: -seeds must be positive (got %d)", *seeds)}
+	}
+
+	scratch, err := os.MkdirTemp("", "bside-fuzz-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+	uni, err := fuzzer.NewUniverse(filepath.Join(scratch, "libs"))
+	if err != nil {
+		return err
+	}
+	o, err := fuzzer.New(fuzzer.Options{Dir: scratch, Universe: uni})
+	if err != nil {
+		return err
+	}
+
+	began := time.Now()
+	enc := json.NewEncoder(stdout)
+	failed := 0
+	for i := 0; i < *seeds; i++ {
+		seed := *start + int64(i)
+		v := o.Check(fuzzer.Gen(seed))
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if v.OK() {
+			continue
+		}
+		failed++
+		if *repro == "" {
+			continue
+		}
+		// Bisect the failing profile down to a minimal reproducer and
+		// keep it: the artifact a human (or CI) promotes into
+		// internal/fuzzer/testdata/regressions once the bug is fixed.
+		if err := os.MkdirAll(*repro, 0o755); err != nil {
+			return err
+		}
+		shrunk, sv := fuzzer.Shrink(o, fuzzer.Gen(seed))
+		path := filepath.Join(*repro, fmt.Sprintf("seed-%d.json", seed))
+		if err := fuzzer.WriteRepro(path, shrunk, sv); err != nil {
+			fmt.Fprintf(stderr, "bside fuzz: seed %d: write repro: %v\n", seed, err)
+		} else {
+			fmt.Fprintf(stderr, "bside fuzz: seed %d: shrunk reproducer written to %s\n", seed, path)
+		}
+	}
+	fmt.Fprintf(stderr, "bside fuzz: %d seeds (%d..%d) in %v: %d violating\n",
+		*seeds, *start, *start+int64(*seeds)-1, time.Since(began).Round(time.Millisecond), failed)
+	if failed > 0 {
+		return fmt.Errorf("fuzz: %d of %d seeds violated the oracle", failed, *seeds)
+	}
+	return nil
+}

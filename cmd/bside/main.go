@@ -6,13 +6,22 @@
 //
 //	bside [-libs dir] [-json] [-phases] [-policy] [-workers n] [-timings] <binary>
 //	bside batch [-libs dir] [-cache dir] [-jobs n] [-workers n] [-max-insns n] <binary>...
+//	bside fuzz [-seeds n] [-start s] [-repro dir]
 //
 // The batch form analyzes many binaries concurrently over a shared
 // interface cache, emitting one JSON object per binary (JSON lines) on
 // stdout — each line flushed as soon as that binary's analysis
 // completes, so long fleets stream progress — and a cold/warm summary
 // on stderr. With -cache, results are persisted content-addressed on
-// disk and reused by later runs.
+// disk and reused by later runs. The batch exits non-zero when any
+// binary's analysis failed, with a failed count in the stderr summary.
+//
+// The fuzz form runs the randomized corpus fuzzing harness
+// (internal/fuzzer): for each seed in the range it synthesizes a
+// program, derives emulator ground truth, and checks soundness,
+// result invariance and baseline sanity, emitting one JSON verdict
+// line per seed and exiting non-zero on any violation. With -repro,
+// failing seeds are shrunk to minimal reproducer files.
 //
 // -workers sets the intra-binary worker pool: how many independent
 // units (wrapper-detection functions, identification targets) of one
@@ -22,21 +31,48 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"bside"
 )
 
+// usageError marks a command-line mistake (bad flags, missing
+// arguments); main reports it with exit code 2 instead of 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// exitCode distinguishes usage mistakes (2) from run failures (1).
+func exitCode(err error) int {
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
+}
+
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "batch" {
-		if err := runBatch(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "bside:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		var sub func([]string, io.Writer, io.Writer) error
+		switch os.Args[1] {
+		case "batch":
+			sub = runBatch
+		case "fuzz":
+			sub = runFuzz
 		}
-		return
+		if sub != nil {
+			if err := sub(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "bside:", err)
+				os.Exit(exitCode(err))
+			}
+			return
+		}
 	}
 	libs := flag.String("libs", "", "directory with shared-library dependencies")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
@@ -155,23 +191,27 @@ type batchLine struct {
 	Error    string   `json:"error,omitempty"`
 }
 
-func runBatch(args []string) error {
-	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+func runBatch(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	libs := fs.String("libs", "", "directory with shared-library dependencies")
 	cacheDir := fs.String("cache", "", "persistent content-addressed cache directory")
 	jobs := fs.Int("jobs", 0, "worker-pool size across binaries (0 = GOMAXPROCS)")
 	workers := fs.Int("workers", 0, "intra-binary analysis workers per job (0/1 = serial, -1 = one per CPU)")
 	maxInsns := fs.Int("max-insns", 0, "disassembly budget per binary (0 = default)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: bside batch [-libs dir] [-cache dir] [-jobs n] [-workers n] [-max-insns n] <binary>...")
+		fmt.Fprintln(stderr, "usage: bside batch [-libs dir] [-cache dir] [-jobs n] [-workers n] [-max-insns n] <binary>...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usageError{err}
 	}
 	if fs.NArg() == 0 {
 		fs.Usage()
-		os.Exit(2)
+		return usageError{errors.New("batch: no binaries given")}
 	}
 
 	a := bside.NewAnalyzer(bside.Options{
@@ -185,7 +225,7 @@ func runBatch(args []string) error {
 	// Stream one JSON line per binary as its analysis completes (the
 	// OnResult calls are serialized by AnalyzeAll), so a long fleet
 	// shows progress instead of buffering behind the slowest binary.
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	var warm, cold, failed int
 	var encErr error
 	results, err := a.AnalyzeAll(fs.Args(), bside.BatchOptions{
@@ -221,12 +261,12 @@ func runBatch(args []string) error {
 	elapsed := time.Since(start)
 
 	st := a.CacheStats()
-	fmt.Fprintf(os.Stderr, "bside batch: %d binaries in %v: %d analyzed (cold), %d from cache (warm), %d failed",
+	fmt.Fprintf(stderr, "bside batch: %d binaries in %v: %d analyzed (cold), %d from cache (warm), %d failed",
 		len(results), elapsed.Round(time.Millisecond), cold, warm, failed)
 	if *cacheDir != "" {
-		fmt.Fprintf(os.Stderr, "; cache %d hits / %d misses / %d stores", st.Hits, st.Misses, st.Stores)
+		fmt.Fprintf(stderr, "; cache %d hits / %d misses / %d stores", st.Hits, st.Misses, st.Stores)
 	}
-	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(stderr)
 	if failed > 0 {
 		return fmt.Errorf("%d of %d binaries failed", failed, len(results))
 	}

@@ -1,0 +1,80 @@
+package bside_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bside/internal/elff"
+	"bside/internal/fuzzer"
+)
+
+// TestFuzzHarnessPublicAPI runs a slice of the randomized corpus
+// harness at the top level: the oracle drives the analyzer exclusively
+// through the public bside API (AnalyzeFile, AnalyzeAll, Options), so
+// this is the library-surface counterpart of the deeper run in
+// internal/fuzzer. A violation here is a user-visible contract break.
+func TestFuzzHarnessPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	uni, err := fuzzer.NewUniverse(filepath.Join(dir, "libs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := fuzzer.New(fuzzer.Options{Dir: dir, Universe: uni})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(2001); seed <= 2008; seed++ {
+		v := o.Check(fuzzer.Gen(seed))
+		if !v.OK() {
+			t.Errorf("seed %d (%s): err=%q violations=%v", seed, v.Kind, v.Err, v.Violations)
+		}
+	}
+}
+
+// TestFuzzGeneratorDiversity guards the generator against silently
+// collapsing: across a modest seed range it must keep producing every
+// binary kind and every composition feature the corpus supports.
+func TestFuzzGeneratorDiversity(t *testing.T) {
+	counts := map[string]int{}
+	for seed := int64(1); seed <= 300; seed++ {
+		p := fuzzer.Gen(seed).Profile
+		switch {
+		case p.StaticPIE:
+			counts["static-pie"]++
+		case p.Kind == elff.KindStatic:
+			counts["static"]++
+		case p.Kind == elff.KindDynamic:
+			counts["dynamic"]++
+		}
+		if p.WrapperDepth > 0 && p.HotWrapper > 0 {
+			counts["wrapper-chain"]++
+		}
+		if p.TableHandlers > 0 {
+			counts["table-handler"]++
+		}
+		if len(p.GraphLibs) > 0 {
+			counts["lib-graph"]++
+		}
+		if p.HotDeep > 0 {
+			counts["deep-site"]++
+		}
+		if p.ColdDirect+p.ColdWrapper > 0 {
+			counts["dead-code"]++
+		}
+		if p.UseLibcWrapper {
+			counts["libc-wrapper"]++
+		}
+		if p.HotStack > 0 || p.StackedTruth > 0 {
+			counts["stack-carried"]++
+		}
+	}
+	for _, feature := range []string{
+		"static", "dynamic", "static-pie", "wrapper-chain", "table-handler",
+		"lib-graph", "deep-site", "dead-code", "libc-wrapper", "stack-carried",
+	} {
+		if counts[feature] < 10 {
+			t.Errorf("feature %q appears only %d times in 300 seeds — generator coverage collapsed",
+				feature, counts[feature])
+		}
+	}
+}

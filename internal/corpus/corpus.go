@@ -71,6 +71,18 @@ func GenerateDebian(seed int64) (*Set, error) {
 	return set, nil
 }
 
+// NewLibrarySet builds just the shared-library universe — libc, the
+// flat libx* family and the libg* dependency DAG — with no programs.
+// It is the composable starting point for callers (the fuzzer) that
+// synthesize their own program profiles against the standard libraries.
+func NewLibrarySet() (*Set, error) {
+	set := &Set{Libs: make(map[string]*elff.Binary)}
+	if err := set.buildLibs(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
 func (s *Set) buildLibs() error {
 	libc, err := BuildLibc()
 	if err != nil {
@@ -83,6 +95,13 @@ func (s *Set) buildLibs() error {
 			return err
 		}
 		s.Libs[extLibName(i)] = lib
+	}
+	for i := 0; i < NumGraphLibs; i++ {
+		lib, err := BuildGraphLib(i)
+		if err != nil {
+			return err
+		}
+		s.Libs[GraphLibName(i)] = lib
 	}
 	return nil
 }
@@ -106,7 +125,7 @@ func (s *Set) groundTruth(bin *elff.Binary, p Profile) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := m.Run(3_000_000); err != nil {
+	if err := m.RunBudget(emu.Budget{}); err != nil {
 		return nil, err
 	}
 	if !m.Exited {

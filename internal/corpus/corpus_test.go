@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"fmt"
 	"testing"
 
 	"bside/internal/cfg"
@@ -236,4 +237,133 @@ func TestStaticPIEIsSimple(t *testing.T) {
 			t.Fatalf("static-PIE must have no dependencies: %v", bin.Needed)
 		}
 	}
+}
+
+// analyzeSupersetOf runs B-Side over bin and asserts truth is a subset
+// of the identified set (no false negatives), returning the report.
+func analyzeSupersetOf(t *testing.T, set *Set, bin *elff.Binary, p Profile) *shared.ProgramReport {
+	t.Helper()
+	truth, err := set.groundTruth(bin, p)
+	if err != nil {
+		t.Fatalf("%s: ground truth: %v", p.Name, err)
+	}
+	an := shared.NewAnalyzer(set.LoadLib, ident.Config{})
+	rep, err := an.Program(bin)
+	if err != nil {
+		t.Fatalf("%s: analyze: %v", p.Name, err)
+	}
+	if rep.FailOpen {
+		t.Fatalf("%s: fail-open", p.Name)
+	}
+	have := make(map[uint64]bool, len(rep.Syscalls))
+	for _, n := range rep.Syscalls {
+		have[n] = true
+	}
+	for _, n := range truth {
+		if !have[n] {
+			t.Errorf("%s: FALSE NEGATIVE: %d in truth but not identified", p.Name, n)
+		}
+	}
+	return rep
+}
+
+func TestWrapperChainNoFalseNegatives(t *testing.T) {
+	// The defining immediate sits WrapperDepth call frames above the
+	// innermost wrapper's syscall; the backward search must cross every
+	// forwarding frame to bound it.
+	for _, depth := range []int{1, 2, 4} {
+		p := Profile{
+			Name: "chain", Kind: elff.KindStatic,
+			HotDirect: 2, HotWrapper: 4, WrapperDepth: depth,
+			ColdWrapper: 2, Filler: 10, Seed: int64(400 + depth),
+		}
+		bin, err := BuildProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := &Set{Libs: map[string]*elff.Binary{}}
+		rep := analyzeSupersetOf(t, set, bin, p)
+		if len(rep.Main.Wrappers) == 0 {
+			t.Errorf("depth %d: no wrapper detected", depth)
+		}
+	}
+}
+
+func TestTableHandlersNoFalseNegatives(t *testing.T) {
+	// Table-invoked handlers: the target address only exists in a data
+	// slot, so the data-pointer scan must pull the handler into the
+	// precise CFG for its syscall to be identified.
+	p := Profile{
+		Name: "tables", Kind: elff.KindStatic,
+		HotDirect: 2, Handlers: 1, TableHandlers: 3,
+		Filler: 10, Seed: 77,
+	}
+	bin, err := BuildProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := &Set{Libs: map[string]*elff.Binary{}}
+	analyzeSupersetOf(t, set, bin, p)
+}
+
+func TestGraphLibDAG(t *testing.T) {
+	for i := 0; i < NumGraphLibs; i++ {
+		needs := GraphLibNeeds(i)
+		if i == 0 && len(needs) != 0 {
+			t.Fatalf("libg00 must be a leaf: %v", needs)
+		}
+		seen := map[string]bool{}
+		for _, n := range needs {
+			if seen[n] {
+				t.Fatalf("libg%02d: duplicate need %s", i, n)
+			}
+			seen[n] = true
+			var j int
+			if _, err := fmt.Sscanf(n, "libg%02d.so", &j); err != nil || j >= i {
+				t.Fatalf("libg%02d: edge must point at a lower index: %s", i, n)
+			}
+		}
+	}
+	// Deterministic bytes.
+	a, err := BuildGraphLib(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildGraphLib(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Fatal("graph lib generation must be deterministic")
+	}
+}
+
+func TestGraphLibClosureNoFalseNegatives(t *testing.T) {
+	// Linking the deepest graph lib pulls its whole DT_NEEDED DAG into
+	// the load closure; both the emulator walk and the analyzer's
+	// dependency closure must traverse it.
+	set, err := NewLibrarySet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Profile{
+		Name: "graphy", Kind: elff.KindDynamic,
+		HotDirect: 3, HotWrapper: 2, HotLibc: 3,
+		UseLibcWrapper: true, GraphLibs: []int{NumGraphLibs - 1, 2},
+		Filler: 10, Seed: 88,
+	}
+	bin, err := BuildProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range bin.Needed {
+		if n == GraphLibName(NumGraphLibs-1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("graph lib not linked: %v", bin.Needed)
+	}
+	analyzeSupersetOf(t, set, bin, p)
 }

@@ -1,0 +1,83 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bside/internal/asm"
+	"bside/internal/elff"
+	"bside/internal/x86"
+)
+
+// NumGraphLibs is the size of the graph-library family: small shared
+// libraries that depend on each other, so a binary linking one pulls a
+// transitive DT_NEEDED DAG into its load closure. They exist to
+// exercise the dependency-closure machinery (deepest-first interface
+// computation, per-library caching, the emulator's load walk) with
+// non-flat library graphs, which the flat libx* family cannot.
+const NumGraphLibs = 6
+
+const graphLibBase = 0x7F03_0000_0000
+
+// GraphLibName returns the DT_NEEDED name of graph library i.
+func GraphLibName(i int) string { return fmt.Sprintf("libg%02d.so", i) }
+
+// GraphLibNeeds returns the fixed DT_NEEDED edges of graph library i: a
+// deterministic DAG (edges only point at lower indices) with diamonds,
+// so closures overlap and a shared dependency is reached over several
+// paths.
+func GraphLibNeeds(i int) []string {
+	var out []string
+	seen := map[int]bool{}
+	for _, j := range []int{i - 1, (i - 1) / 2} {
+		if j >= 0 && j < i && !seen[j] {
+			seen[j] = true
+			out = append(out, GraphLibName(j))
+		}
+	}
+	return out
+}
+
+// GraphLibExports lists the export names of graph library i.
+func GraphLibExports(i int) []string {
+	out := make([]string, 0, 3)
+	for e := 0; e < 3; e++ {
+		out = append(out, fmt.Sprintf("g%02d_fn%d", i, e))
+	}
+	return out
+}
+
+// BuildGraphLib synthesizes graph library i: three exports with one
+// direct syscall each, plus the library's fixed DT_NEEDED edges.
+func BuildGraphLib(i int) (*elff.Binary, error) {
+	rng := rand.New(rand.NewSource(int64(9900 + i)))
+	b := asm.New()
+	base := uint64(graphLibBase + uint64(i+1)*extLibSlide)
+	exports := GraphLibExports(i)
+	for _, name := range exports {
+		nr := coldPool[rng.Intn(len(coldPool))]
+		b.Func("g_" + name)
+		b.Endbr64()
+		b.MovRegImm32(x86.RAX, uint32(nr))
+		b.Syscall()
+		b.XorRegReg32(x86.RAX, x86.RAX)
+		b.Ret()
+	}
+	b.Label("__code_end")
+	img, syms, err := b.Finalize(base)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", GraphLibName(i), err)
+	}
+	spec := elff.Spec{
+		Kind:     elff.KindShared,
+		Base:     base,
+		Blob:     img,
+		CodeSize: syms["__code_end"] - base,
+		Needed:   GraphLibNeeds(i),
+		Symbols:  funcSyms(b, syms),
+	}
+	for _, name := range exports {
+		spec.Exports = append(spec.Exports, elff.Export{Name: name, Addr: syms["g_"+name]})
+	}
+	return writeRead(spec)
+}

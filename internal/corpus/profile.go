@@ -103,6 +103,17 @@ type Profile struct {
 	HotWrapper int // calls to the local or libc register wrapper
 	HotStack   int // calls to the local Go-style stack wrapper
 	Handlers   int // function-pointer handlers with one site each
+	// TableHandlers adds function-pointer handlers invoked through
+	// their global data slot (mov reg, [rip+slot]; call reg) instead of
+	// a materialized address — the indirect-call shape whose targets
+	// only the data-pointer scan can surface.
+	TableHandlers int
+	// WrapperDepth routes HotWrapper/ColdWrapper calls through a chain
+	// of that many argument-forwarding intermediate wrappers before the
+	// local register wrapper's syscall: the backward search must walk
+	// the whole chain, one caller layer at a time, to bound the value.
+	// 0 keeps the direct local/libc wrapper call.
+	WrapperDepth int
 	// HotDeep adds sites whose defining immediate sits DeepBlocks basic
 	// blocks above the syscall: the backward search must walk that many
 	// predecessor layers, re-seeding directed symbolic execution each
@@ -132,6 +143,11 @@ type Profile struct {
 	ColdLibc int
 	// ExtraLibs is how many additional shared libraries are linked.
 	ExtraLibs int
+	// GraphLibs lists graph-library indices (0..NumGraphLibs-1) to link
+	// as DT_NEEDED dependencies. Graph libraries depend on each other
+	// (GraphLibNeeds), so linking one pulls a transitive dependency DAG
+	// into the load closure — the random library-graph workload.
+	GraphLibs []int
 	// UseLibcWrapper routes wrapper calls through the imported libc
 	// syscall() instead of a local wrapper.
 	UseLibcWrapper bool

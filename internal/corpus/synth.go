@@ -39,6 +39,9 @@ type builder struct {
 	wrappers   struct {
 		localReg   bool
 		localStack bool
+		// chainDepth is the deepest wrapper chain referenced by a call
+		// site; emitHelpers materializes wrap_chain_1..chainDepth.
+		chainDepth int
 	}
 	fillN int
 }
@@ -61,7 +64,7 @@ func (s *builder) build() (*elff.Binary, error) {
 	p := s.p
 	b := s.b
 
-	hotVals := s.pick(hotPool, p.HotDirect+p.HotWrapper+p.HotStack+p.Handlers+p.HotDeep)
+	hotVals := s.pick(hotPool, p.HotDirect+p.HotWrapper+p.HotStack+p.Handlers+p.TableHandlers+p.HotDeep)
 	coldVals := s.pick(coldPool, p.ColdDirect+p.ColdWrapper)
 	denied := s.pick(deniedPool, p.DeniedVals)
 
@@ -81,7 +84,7 @@ func (s *builder) build() (*elff.Binary, error) {
 	hotDirect = take(p.HotDirect, patSameBlock, true)
 	hotWrap = take(p.HotWrapper, patWrapper, true)
 	hotStackW = take(p.HotStack, patStackWrapper, true)
-	handlers = take(p.Handlers, patHandler, true)
+	handlers = take(p.Handlers+p.TableHandlers, patHandler, true)
 	hotDeep = take(p.HotDeep, patDeep, true)
 
 	// Pattern mix inside the direct sites: some cross-block beyond the
@@ -135,6 +138,12 @@ func (s *builder) build() (*elff.Binary, error) {
 			hotLibc = append(hotLibc, exps[s.rng.Intn(len(exps))])
 			s.importLib(extLibName(lib))
 		}
+		for _, g := range p.GraphLibs {
+			g = ((g % NumGraphLibs) + NumGraphLibs) % NumGraphLibs
+			exps := GraphLibExports(g)
+			hotLibc = append(hotLibc, exps[s.rng.Intn(len(exps))])
+			s.importLib(GraphLibName(g))
+		}
 	}
 
 	// ---- code ----
@@ -173,7 +182,14 @@ func (s *builder) build() (*elff.Binary, error) {
 		s.callImport(name)
 	}
 	for i := range handlers {
-		b.Lea(x86.R13, fmt.Sprintf("handler_%d", i))
+		if i < s.p.Handlers {
+			b.Lea(x86.R13, fmt.Sprintf("handler_%d", i))
+		} else {
+			// Table-invoked: the pointer travels through its global
+			// slot, so only the data-pointer scan ties the call site to
+			// its target.
+			b.MovRegMemRIP(x86.R13, fmt.Sprintf("handler_slot_%d", i))
+		}
 		b.CallReg(x86.R13)
 	}
 	b.DecReg(x86.R14)
@@ -281,9 +297,18 @@ func (s *builder) emit(e emission) {
 			// forward symbolic execution, which forks exponentially.
 			s.forkLadder(18)
 		}
-		if s.dynamic && s.p.UseLibcWrapper && s.p.Class != FailWrapper {
+		switch {
+		case s.p.WrapperDepth > 0:
+			// The number crosses WrapperDepth argument-forwarding
+			// frames before the innermost wrapper's syscall.
+			s.wrappers.localReg = true
+			if s.p.WrapperDepth > s.wrappers.chainDepth {
+				s.wrappers.chainDepth = s.p.WrapperDepth
+			}
+			b.CallLabel(fmt.Sprintf("wrap_chain_%d", s.p.WrapperDepth))
+		case s.dynamic && s.p.UseLibcWrapper && s.p.Class != FailWrapper:
 			s.callImport("syscall")
-		} else {
+		default:
 			s.wrappers.localReg = true
 			b.CallLabel("local_syscall")
 		}
@@ -348,6 +373,20 @@ func (s *builder) emitHelpers(handlers []emission) {
 		}
 		b.MovRegReg(x86.RAX, x86.RDI)
 		b.Syscall()
+		b.Ret()
+	}
+	// Wrapper chains: wrap_chain_d forwards its untouched %rdi one
+	// frame down; only the innermost local_syscall holds the syscall
+	// instruction, so the backward search crosses every frame to find
+	// the defining immediate in the original caller.
+	for d := 1; d <= s.wrappers.chainDepth; d++ {
+		b.Func(fmt.Sprintf("wrap_chain_%d", d))
+		b.Endbr64()
+		if d == 1 {
+			b.CallLabel("local_syscall")
+		} else {
+			b.CallLabel(fmt.Sprintf("wrap_chain_%d", d-1))
+		}
 		b.Ret()
 	}
 	if s.wrappers.localStack {

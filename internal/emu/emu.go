@@ -27,6 +27,26 @@ var (
 // to it ends the program as if the process returned from main.
 const haltAddr = 0xFFFF_FFFF_FFFF_F000
 
+// DefaultMaxSteps is the step budget used when a Budget leaves MaxSteps
+// zero — ample for every corpus program while still bounding runaway
+// inputs.
+const DefaultMaxSteps = 3_000_000
+
+// Budget bounds one emulation run. The limits exist for adversarial
+// inputs — randomly synthesized programs the fuzzer feeds in — where an
+// unbounded run or an unbounded trace would turn a generator bug into a
+// hung or OOM-killed harness.
+type Budget struct {
+	// MaxSteps bounds executed instructions; 0 means DefaultMaxSteps.
+	// Exceeding it fails the run with ErrSteps.
+	MaxSteps int
+	// MaxTrace caps the per-invocation Trace recording (0 = unlimited).
+	// The deduplicated SyscallSet keeps recording past the cap, so
+	// ground truth stays exact even for syscall-bomb programs; only the
+	// invocation-ordered log is truncated.
+	MaxTrace int
+}
+
 const (
 	stackTop  = 0x7FFF_FFF0_0000
 	stackSize = 1 << 20
@@ -51,6 +71,11 @@ type Machine struct {
 	ExitCode uint64
 	// Steps counts executed instructions.
 	Steps int
+
+	// seen is the deduplicated syscall set, maintained even when the
+	// Trace recording is capped by a Budget.
+	seen     map[uint64]bool
+	maxTrace int
 
 	modules []*elff.Binary
 }
@@ -186,9 +211,10 @@ func (m *Machine) fetch(addr uint64) ([]byte, error) {
 }
 
 // SyscallSet returns the deduplicated set of syscall numbers executed.
+// Unlike Trace it is exact even when a Budget capped the trace.
 func (m *Machine) SyscallSet() map[uint64]bool {
-	set := make(map[uint64]bool, len(m.Trace))
-	for _, n := range m.Trace {
+	set := make(map[uint64]bool, len(m.seen))
+	for n := range m.seen {
 		set[n] = true
 	}
 	return set

@@ -267,3 +267,61 @@ func TestSyscallClobbersRCXandR11(t *testing.T) {
 		t.Fatal("rcx must be clobbered by syscall")
 	}
 }
+
+func TestRunBudgetTraceCap(t *testing.T) {
+	// A syscall-bomb program: the capped Trace truncates, but the
+	// deduplicated SyscallSet stays exact — the property the fuzzing
+	// oracle's ground truth depends on.
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.R14, 50)
+		b.Label("loop")
+		b.MovRegImm32(x86.RAX, 0)
+		b.Syscall()
+		b.MovRegImm32(x86.RAX, 1)
+		b.Syscall()
+		b.DecReg(x86.R14)
+		b.CmpRegImm(x86.R14, 0)
+		b.Jcc(x86.CondNE, "loop")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+	}, nil)
+	m, err := NewProcess(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunBudget(Budget{MaxTrace: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Exited {
+		t.Fatal("did not exit")
+	}
+	if len(m.Trace) != 10 {
+		t.Fatalf("trace len %d, want capped at 10", len(m.Trace))
+	}
+	set := m.SyscallSet()
+	for _, nr := range []uint64{0, 1, 60} {
+		if !set[nr] {
+			t.Fatalf("SyscallSet lost %d past the trace cap: %v", nr, set)
+		}
+	}
+}
+
+func TestRunBudgetDefaultSteps(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.Label("spin")
+		b.JmpLabel("spin")
+	}, nil)
+	m, err := NewProcess(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero MaxSteps means the (large) default, not zero.
+	if err := m.RunBudget(Budget{}); !errors.Is(err, ErrSteps) {
+		t.Fatalf("want step budget error, got %v", err)
+	}
+	if m.Steps != DefaultMaxSteps {
+		t.Fatalf("steps %d, want DefaultMaxSteps", m.Steps)
+	}
+}

@@ -9,6 +9,16 @@ import (
 
 // Run executes until exit, a trap, or maxSteps instructions.
 func (m *Machine) Run(maxSteps int) error {
+	return m.RunBudget(Budget{MaxSteps: maxSteps})
+}
+
+// RunBudget executes until exit, a trap, or the budget's step limit.
+func (m *Machine) RunBudget(budget Budget) error {
+	maxSteps := budget.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	m.maxTrace = budget.MaxTrace
 	for m.Steps < maxSteps {
 		if m.rip == haltAddr {
 			m.Exited = true
@@ -188,7 +198,13 @@ func (m *Machine) exec(in x86.Inst, next *uint64) error {
 
 	case x86.OpSyscall:
 		nr := m.regs[x86.RAX]
-		m.Trace = append(m.Trace, nr)
+		if m.seen == nil {
+			m.seen = make(map[uint64]bool)
+		}
+		m.seen[nr] = true
+		if m.maxTrace <= 0 || len(m.Trace) < m.maxTrace {
+			m.Trace = append(m.Trace, nr)
+		}
 		if nr == linux.SysExit || nr == linux.SysExitGroup {
 			m.Exited = true
 			m.ExitCode = m.regs[x86.RDI]

@@ -16,7 +16,8 @@ import (
 )
 
 // Budgets used by the harness; chosen so the corpus's engineered
-// failure classes trip exactly the intended tool (see DESIGN.md §5).
+// failure classes trip exactly the intended tool (see EXPERIMENTS.md
+// §2 for the rationale behind the two values).
 const (
 	BSideCFGBudget    = 40_000
 	BaselineCFGBudget = 60_000

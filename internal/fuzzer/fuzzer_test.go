@@ -1,0 +1,173 @@
+package fuzzer
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bside/internal/corpus"
+)
+
+// newOracle builds an oracle over a fresh universe in a test temp dir.
+func newOracle(t testing.TB, opts Options) *Oracle {
+	t.Helper()
+	dir := t.TempDir()
+	uni, err := NewUniverse(filepath.Join(dir, "libs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Dir = dir
+	opts.Universe = uni
+	o, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// oracleSeeds is the fixed seed range the checked-in harness covers on
+// every `go test` run (the acceptance floor is 50).
+const oracleSeeds = 50
+
+// TestOracleFixedSeeds is the harness's workhorse: 50 fixed seeds, all
+// three oracle dimensions, full determinism. Every seed must pass, the
+// generator must cover all three binary kinds, and re-running a seed
+// must reproduce the identical binary image and verdict bytes.
+func TestOracleFixedSeeds(t *testing.T) {
+	o := newOracle(t, Options{})
+	kinds := map[string]int{}
+	for seed := int64(1); seed <= oracleSeeds; seed++ {
+		c := Gen(seed)
+		v := o.Check(c)
+		if !v.OK() {
+			t.Errorf("seed %d (%s): oracle violation: err=%q violations=%v",
+				seed, v.Kind, v.Err, v.Violations)
+			continue
+		}
+		kinds[v.Kind]++
+		if len(v.Truth) == 0 {
+			t.Errorf("seed %d: empty ground truth", seed)
+		}
+
+		if seed%10 != 0 {
+			continue
+		}
+		// Determinism: same seed → same profile, same image bytes,
+		// same verdict bytes.
+		again := Gen(seed)
+		if !reflect.DeepEqual(c, again) {
+			t.Fatalf("seed %d: Gen is not deterministic", seed)
+		}
+		bin, err := corpus.BuildProgram(again.Profile)
+		if err != nil {
+			t.Fatalf("seed %d: rebuild: %v", seed, err)
+		}
+		if bin.Hash != v.ImageSHA256 {
+			t.Fatalf("seed %d: image hash drifted: %s vs %s", seed, bin.Hash, v.ImageSHA256)
+		}
+		v2 := o.Check(again)
+		j1, _ := json.Marshal(v)
+		j2, _ := json.Marshal(v2)
+		if string(j1) != string(j2) {
+			t.Fatalf("seed %d: verdict drifted across runs:\n%s\n%s", seed, j1, j2)
+		}
+	}
+	for _, kind := range []string{"static", "dynamic", "static-pie"} {
+		if kinds[kind] == 0 {
+			t.Errorf("no %s case in %d seeds — generator lost a kind", kind, oracleSeeds)
+		}
+	}
+}
+
+// TestOracleCatchesUnsoundAnalyzer injects the bug class the oracle
+// exists for: an analyzer that silently loses a syscall the program
+// actually makes. Every program exits via syscall 60, so dropping 60
+// from the identified set must trip the soundness dimension.
+func TestOracleCatchesUnsoundAnalyzer(t *testing.T) {
+	o := newOracle(t, Options{
+		Workers: []int{1},
+		Tamper: func(_ string, syscalls []uint64) []uint64 {
+			out := syscalls[:0]
+			for _, n := range syscalls {
+				if n != 60 {
+					out = append(out, n)
+				}
+			}
+			return out
+		},
+	})
+	v := o.Check(Gen(3))
+	if v.OK() || v.Sound {
+		t.Fatalf("dropped runtime syscall not caught: %+v", v)
+	}
+	found := false
+	for _, viol := range v.Violations {
+		if strings.Contains(viol, "soundness") && strings.Contains(viol, "60") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing soundness violation naming syscall 60: %v", v.Violations)
+	}
+	// Invariance must not be blamed: every leg was tampered equally.
+	if !v.Invariant {
+		t.Fatalf("soundness bug misattributed to invariance: %v", v.Violations)
+	}
+}
+
+// TestOracleCatchesResultDrift injects scheduling-dependent results: a
+// tweak that changes the answer only at one worker count must trip the
+// invariance dimension while leaving soundness intact.
+func TestOracleCatchesResultDrift(t *testing.T) {
+	o := newOracle(t, Options{
+		Tamper: func(leg string, syscalls []uint64) []uint64 {
+			if leg == "workers=8" {
+				return append(syscalls, 999)
+			}
+			return syscalls
+		},
+	})
+	v := o.Check(Gen(5))
+	if v.OK() || v.Invariant {
+		t.Fatalf("worker-count drift not caught: %+v", v)
+	}
+	if !v.Sound {
+		t.Fatalf("drift misattributed to soundness: %v", v.Violations)
+	}
+	found := false
+	for _, viol := range v.Violations {
+		if strings.Contains(viol, "workers=8") && strings.Contains(viol, "drifted") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing drift violation naming the leg: %v", v.Violations)
+	}
+}
+
+// TestRegressionRepros replays every checked-in shrunk reproducer.
+// These are promoted fuzz findings (and guard shapes); each must pass
+// the full oracle on the current analyzer.
+func TestRegressionRepros(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "regressions", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no checked-in regression repros")
+	}
+	o := newOracle(t, Options{})
+	for _, path := range paths {
+		c, err := LoadRepro(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		v := o.Check(c)
+		if !v.OK() {
+			t.Errorf("%s: regression resurfaced: err=%q violations=%v",
+				filepath.Base(path), v.Err, v.Violations)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package fuzzer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"bside"
+	"bside/internal/baseline"
+	"bside/internal/corpus"
+	"bside/internal/elff"
+	"bside/internal/emu"
+	"bside/internal/eval"
+)
+
+// Verdict is the oracle's judgement of one case — the JSON-line record
+// `bside fuzz` emits per seed. Everything needed to reproduce is in the
+// seed; everything needed to triage without reproducing is in the rest.
+type Verdict struct {
+	Seed int64  `json:"seed"`
+	Name string `json:"name"`
+	// Kind is the built binary's ELF kind, with static-PIE called out.
+	Kind string `json:"kind"`
+	// ImageSHA256 is the hash of the built ELF image: the determinism
+	// witness (same seed must yield the same hash anywhere).
+	ImageSHA256 string `json:"image_sha256"`
+	// Truth is the emulator-observed syscall set, sorted.
+	Truth []uint64 `json:"truth"`
+	// Identified is B-Side's result on the first analysis leg.
+	Identified []uint64 `json:"identified"`
+	FailOpen   bool     `json:"fail_open,omitempty"`
+	Wrappers   int      `json:"wrappers"`
+
+	// The three oracle dimensions.
+	Sound       bool `json:"sound"`
+	Invariant   bool `json:"invariant"`
+	BaselinesOK bool `json:"baselines_ok"`
+
+	// Violations explains every failed dimension, one entry per fault.
+	Violations []string `json:"violations,omitempty"`
+	// Err records an infrastructure failure (generator, emulator, or
+	// analysis error) that prevented a full verdict.
+	Err string `json:"error,omitempty"`
+}
+
+// OK reports whether the case passed every oracle dimension.
+func (v *Verdict) OK() bool {
+	return v.Err == "" && v.Sound && v.Invariant && v.BaselinesOK && len(v.Violations) == 0
+}
+
+// Options configures an Oracle.
+type Options struct {
+	// Dir is the scratch directory for binaries and per-seed caches.
+	Dir string
+	// Universe supplies the shared libraries; required.
+	Universe *Universe
+	// EmuBudget bounds the ground-truth emulation. Zero values get
+	// defaults (DefaultMaxSteps, a 4096-entry trace cap).
+	EmuBudget emu.Budget
+	// Workers lists the intra-binary worker counts of the invariance
+	// matrix; defaults to 1, 4, 8.
+	Workers []int
+	// Tamper, when set, rewrites each analysis leg's identified set
+	// before fingerprinting — fault injection for the harness's own
+	// tests (a deliberately broken "analyzer" must be caught). Nil in
+	// real runs.
+	Tamper func(leg string, syscalls []uint64) []uint64
+}
+
+// Oracle checks fuzz cases against the soundness, invariance and
+// baseline-sanity properties. Safe for sequential reuse across many
+// cases; per-case scratch state is cleaned up after each Check.
+type Oracle struct {
+	opts Options
+}
+
+// New builds an Oracle.
+func New(opts Options) (*Oracle, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("fuzzer: Options.Dir is required")
+	}
+	if opts.Universe == nil {
+		return nil, errors.New("fuzzer: Options.Universe is required")
+	}
+	if len(opts.Workers) == 0 {
+		opts.Workers = []int{1, 4, 8}
+	}
+	if opts.EmuBudget.MaxTrace == 0 {
+		opts.EmuBudget.MaxTrace = 4096
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Oracle{opts: opts}, nil
+}
+
+// fingerprint is the byte-compared essence of one analysis result.
+// Timings and cache provenance are deliberately absent: they may vary
+// across legs; nothing else may.
+type fingerprint struct {
+	Syscalls []uint64 `json:"syscalls"`
+	FailOpen bool     `json:"fail_open"`
+	Wrappers int      `json:"wrappers"`
+	Imports  []string `json:"imports"`
+}
+
+// Check builds the case's binary, derives emulator ground truth, runs
+// the analysis-leg matrix, and returns the verdict.
+func (o *Oracle) Check(c Case) *Verdict {
+	v := &Verdict{Seed: c.Seed, Name: c.Profile.Name, Kind: kindString(c.Profile)}
+
+	bin, err := corpus.BuildProgram(c.Profile)
+	if err != nil {
+		v.Err = "build: " + err.Error()
+		return v
+	}
+	v.ImageSHA256 = bin.Hash
+
+	binPath := filepath.Join(o.opts.Dir, fmt.Sprintf("bin-%d", c.Seed))
+	if err := bin.WriteFile(binPath); err != nil {
+		v.Err = "write: " + err.Error()
+		return v
+	}
+	defer os.Remove(binPath)
+
+	// Ground truth: execute for real under the emulator.
+	m, err := emu.NewProcess(bin, o.opts.Universe.Set.Libs)
+	if err != nil {
+		v.Err = "load: " + err.Error()
+		return v
+	}
+	if err := m.RunBudget(o.opts.EmuBudget); err != nil {
+		v.Err = "emulate: " + err.Error()
+		return v
+	}
+	if !m.Exited {
+		v.Err = "emulate: did not exit"
+		return v
+	}
+	v.Truth = sortedSet(m.SyscallSet())
+
+	// The analysis-leg matrix. Every leg must produce a byte-identical
+	// fingerprint; the first leg doubles as the soundness subject.
+	cacheDir := filepath.Join(o.opts.Dir, fmt.Sprintf("cache-%d", c.Seed))
+	defer os.RemoveAll(cacheDir)
+
+	type leg struct {
+		name string
+		run  func() (*bside.Analysis, error)
+	}
+	analyzer := func(workers int, cacheDir string) *bside.Analyzer {
+		return bside.NewAnalyzer(bside.Options{
+			LibraryDir:   o.opts.Universe.Dir,
+			IntraWorkers: workers,
+			CacheDir:     cacheDir,
+		})
+	}
+	var legs []leg
+	for _, w := range o.opts.Workers {
+		legs = append(legs, leg{fmt.Sprintf("workers=%d", w), func() (*bside.Analysis, error) {
+			return analyzer(w, "").AnalyzeFile(binPath)
+		}})
+	}
+	legs = append(legs,
+		leg{"cache-cold", func() (*bside.Analysis, error) {
+			return analyzer(1, cacheDir).AnalyzeFile(binPath)
+		}},
+		leg{"cache-warm", func() (*bside.Analysis, error) {
+			res, err := analyzer(1, cacheDir).AnalyzeFile(binPath)
+			if err == nil && !res.Cached {
+				return nil, errors.New("warm run not served from the cache")
+			}
+			return res, err
+		}},
+		leg{"batch", func() (*bside.Analysis, error) {
+			results, err := analyzer(1, "").AnalyzeAll([]string{binPath}, bside.BatchOptions{})
+			if err != nil {
+				return nil, err
+			}
+			return results[0], results[0].Err
+		}},
+	)
+
+	var baseFP []byte
+	var baseLeg string
+	var first *fingerprint
+	v.Invariant = true
+	for _, l := range legs {
+		res, err := l.run()
+		if err != nil {
+			v.Violations = append(v.Violations, fmt.Sprintf("%s: analysis failed: %v", l.name, err))
+			v.Invariant = false
+			continue
+		}
+		fp := o.fingerprintOf(l.name, res)
+		raw, err := json.Marshal(fp)
+		if err != nil {
+			v.Err = "fingerprint: " + err.Error()
+			return v
+		}
+		if baseFP == nil {
+			// The baseline is the first leg that *succeeded* — name it
+			// accurately in drift reports.
+			baseFP, baseLeg, first = raw, l.name, fp
+			continue
+		}
+		if string(raw) != string(baseFP) {
+			v.Invariant = false
+			v.Violations = append(v.Violations, fmt.Sprintf(
+				"%s: result drifted from %s: %s vs %s", l.name, baseLeg, raw, baseFP))
+		}
+	}
+	if first == nil {
+		v.Err = "no analysis leg succeeded"
+		return v
+	}
+	v.Identified = first.Syscalls
+	v.FailOpen = first.FailOpen
+	v.Wrappers = first.Wrappers
+
+	// Soundness: truth ⊆ identified, unless the analysis honestly
+	// failed open (the effective set is then the full table).
+	v.Sound = true
+	if !first.FailOpen {
+		have := make(map[uint64]bool, len(first.Syscalls))
+		for _, n := range first.Syscalls {
+			have[n] = true
+		}
+		for _, n := range v.Truth {
+			if !have[n] {
+				v.Sound = false
+				v.Violations = append(v.Violations, fmt.Sprintf(
+					"soundness: syscall %d observed at runtime but not identified", n))
+			}
+		}
+	}
+
+	o.checkBaselines(v, bin)
+	return v
+}
+
+// checkBaselines asserts the reimplemented competitors fail exactly in
+// their documented modes — and only there. Generated profiles carry no
+// engineered failure classes, so budget exhaustion is not excused.
+func (o *Oracle) checkBaselines(v *Verdict, bin *elff.Binary) {
+	v.BaselinesOK = true
+	fault := func(format string, args ...any) {
+		v.BaselinesOK = false
+		v.Violations = append(v.Violations, fmt.Sprintf(format, args...))
+	}
+
+	_, chestErr := baseline.ChestnutWithBudget(bin, eval.BaselineCFGBudget)
+	_, sysErr := baseline.SysFilterWithBudget(bin, eval.BaselineCFGBudget)
+
+	if bin.Kind == elff.KindStatic {
+		// Documented mode: both loaders reject non-PIC executables.
+		if !errors.Is(chestErr, baseline.ErrStaticUnsupported) {
+			fault("baseline: chestnut on static image: want ErrStaticUnsupported, got %v", chestErr)
+		}
+		if !errors.Is(sysErr, baseline.ErrStaticUnsupported) {
+			fault("baseline: sysfilter on static image: want ErrStaticUnsupported, got %v", sysErr)
+		}
+		return
+	}
+	if chestErr != nil {
+		fault("baseline: chestnut failed outside its documented modes: %v", chestErr)
+	}
+	if !bin.HasUnwind {
+		// Documented mode: SysFilter needs unwind metadata for function
+		// boundaries.
+		if !errors.Is(sysErr, baseline.ErrNoUnwind) {
+			fault("baseline: sysfilter without unwind info: want ErrNoUnwind, got %v", sysErr)
+		}
+	} else if sysErr != nil {
+		fault("baseline: sysfilter failed outside its documented modes: %v", sysErr)
+	}
+}
+
+func (o *Oracle) fingerprintOf(legName string, res *bside.Analysis) *fingerprint {
+	syscalls := append([]uint64(nil), res.Syscalls...)
+	if o.opts.Tamper != nil {
+		syscalls = o.opts.Tamper(legName, syscalls)
+	}
+	return &fingerprint{
+		Syscalls: syscalls,
+		FailOpen: res.FailOpen,
+		Wrappers: res.Wrappers,
+		Imports:  res.Imports,
+	}
+}
+
+func kindString(p corpus.Profile) string {
+	if p.StaticPIE {
+		return "static-pie"
+	}
+	switch p.Kind {
+	case elff.KindStatic:
+		return "static"
+	case elff.KindDynamic:
+		return "dynamic"
+	default:
+		return p.Kind.String()
+	}
+}
+
+func sortedSet(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,161 @@
+package fuzzer
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"bside/internal/corpus"
+	"bside/internal/elff"
+)
+
+// maxShrinkChecks bounds the total oracle runs one Shrink may spend;
+// shrinking is best-effort, and a reproducer that is merely small beats
+// a minimizer that never terminates.
+const maxShrinkChecks = 160
+
+// Shrink reduces a failing case to a (locally) minimal reproducer: it
+// repeatedly proposes simpler profiles — zeroed or halved knobs,
+// cleared flags, dropped libraries — and keeps each proposal that still
+// fails the oracle, until no proposal helps or the check budget runs
+// out. The returned verdict belongs to the returned case. If c already
+// passes, it is returned unchanged.
+func Shrink(o *Oracle, c Case) (Case, *Verdict) {
+	cur := c
+	curV := o.Check(cur)
+	if curV.OK() {
+		return cur, curV
+	}
+	checks := 1
+	for {
+		improved := false
+		for _, cand := range shrinkCandidates(cur.Profile) {
+			if checks >= maxShrinkChecks {
+				return cur, curV
+			}
+			next := Case{Seed: cur.Seed, Profile: cand}
+			nextV := o.Check(next)
+			checks++
+			if !nextV.OK() {
+				cur, curV = next, nextV
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur, curV
+		}
+	}
+}
+
+// shrinkCandidates proposes one-step simplifications of p, most
+// aggressive first so a successful step removes as much as possible.
+func shrinkCandidates(p corpus.Profile) []corpus.Profile {
+	var out []corpus.Profile
+	add := func(mod func(*corpus.Profile)) {
+		q := p
+		q.GraphLibs = append([]int(nil), p.GraphLibs...)
+		mod(&q)
+		out = append(out, q)
+	}
+
+	// Kind simplification: a dynamic reproducer that also fails as a
+	// self-contained static binary is far easier to debug.
+	if p.Kind == elff.KindDynamic || p.StaticPIE {
+		add(func(q *corpus.Profile) {
+			q.Kind = elff.KindStatic
+			q.StaticPIE = false
+			q.HotLibc, q.ColdLibc, q.ExtraLibs = 0, 0, 0
+			q.UseLibcWrapper = false
+			q.GraphLibs = nil
+		})
+	}
+
+	ints := []struct {
+		name string
+		get  func(*corpus.Profile) *int
+		min  int
+	}{
+		{"HotDirect", func(q *corpus.Profile) *int { return &q.HotDirect }, 1},
+		{"HotWrapper", func(q *corpus.Profile) *int { return &q.HotWrapper }, 0},
+		{"HotStack", func(q *corpus.Profile) *int { return &q.HotStack }, 0},
+		{"Handlers", func(q *corpus.Profile) *int { return &q.Handlers }, 0},
+		{"TableHandlers", func(q *corpus.Profile) *int { return &q.TableHandlers }, 0},
+		{"WrapperDepth", func(q *corpus.Profile) *int { return &q.WrapperDepth }, 0},
+		{"HotDeep", func(q *corpus.Profile) *int { return &q.HotDeep }, 0},
+		{"DeepBlocks", func(q *corpus.Profile) *int { return &q.DeepBlocks }, 0},
+		{"ColdDirect", func(q *corpus.Profile) *int { return &q.ColdDirect }, 0},
+		{"ColdWrapper", func(q *corpus.Profile) *int { return &q.ColdWrapper }, 0},
+		{"StackedTruth", func(q *corpus.Profile) *int { return &q.StackedTruth }, 0},
+		{"DeniedVals", func(q *corpus.Profile) *int { return &q.DeniedVals }, 0},
+		{"HotLibc", func(q *corpus.Profile) *int { return &q.HotLibc }, 0},
+		{"ColdLibc", func(q *corpus.Profile) *int { return &q.ColdLibc }, 0},
+		{"ExtraLibs", func(q *corpus.Profile) *int { return &q.ExtraLibs }, 0},
+		{"Filler", func(q *corpus.Profile) *int { return &q.Filler }, 0},
+	}
+	for _, f := range ints {
+		cur := *f.get(&p)
+		if cur > f.min {
+			add(func(q *corpus.Profile) { *f.get(q) = f.min })
+		}
+		if half := cur / 2; half > f.min && half != cur {
+			add(func(q *corpus.Profile) { *f.get(q) = half })
+		}
+	}
+	for i := range p.GraphLibs {
+		add(func(q *corpus.Profile) {
+			q.GraphLibs = append(q.GraphLibs[:i], q.GraphLibs[i+1:]...)
+		})
+	}
+	if p.UseLibcWrapper {
+		add(func(q *corpus.Profile) { q.UseLibcWrapper = false })
+	}
+	if p.HasUnwind {
+		add(func(q *corpus.Profile) { q.HasUnwind = false })
+	}
+	return out
+}
+
+// Repro is the checked-in form of a shrunk failing case. The profile —
+// not the seed — is authoritative: it survives generator evolution, so
+// a repro keeps reproducing the same binary even after Gen's
+// composition changes.
+type Repro struct {
+	// Seed is the originating seed, for provenance.
+	Seed int64 `json:"seed"`
+	// Note says what the case guards against (filled when promoting).
+	Note string `json:"note,omitempty"`
+	// Profile is the (shrunk) generating profile.
+	Profile corpus.Profile `json:"profile"`
+	// Violations are the oracle complaints at capture time.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// WriteRepro serializes a shrunk case and its verdict to path.
+func WriteRepro(path string, c Case, v *Verdict) error {
+	data, err := json.MarshalIndent(Repro{
+		Seed:       c.Seed,
+		Profile:    c.Profile,
+		Violations: v.Violations,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRepro reads a repro file back into a runnable case.
+func LoadRepro(path string) (Case, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Case{}, err
+	}
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Case{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Profile.Name == "" {
+		return Case{}, fmt.Errorf("%s: repro has no profile", path)
+	}
+	return Case{Seed: r.Seed, Profile: r.Profile}, nil
+}

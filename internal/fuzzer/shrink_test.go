@@ -1,0 +1,97 @@
+package fuzzer
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bside/internal/corpus"
+	"bside/internal/elff"
+)
+
+// knobWeight measures how much profile surface a case carries — the
+// quantity shrinking must reduce.
+func knobWeight(p corpus.Profile) int {
+	w := p.HotDirect + p.HotWrapper + p.HotStack + p.Handlers +
+		p.TableHandlers + p.WrapperDepth + p.HotDeep + p.DeepBlocks +
+		p.ColdDirect + p.ColdWrapper + p.StackedTruth + p.DeniedVals +
+		p.HotLibc + p.ColdLibc + p.ExtraLibs + p.Filler + len(p.GraphLibs)
+	if p.UseLibcWrapper {
+		w++
+	}
+	return w
+}
+
+// TestShrinkMinimizesFailingCase drives the shrinker against an
+// injected analyzer bug (all odd syscalls silently dropped) and
+// requires a much simpler profile that still reproduces the failure,
+// plus a repro file that round-trips back into a failing case.
+func TestShrinkMinimizesFailingCase(t *testing.T) {
+	tamper := func(_ string, syscalls []uint64) []uint64 {
+		out := syscalls[:0]
+		for _, n := range syscalls {
+			if n%2 == 0 {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	o := newOracle(t, Options{Workers: []int{1}, Tamper: tamper})
+
+	// Find a failing dynamic seed so kind simplification has work to do.
+	var failing Case
+	found := false
+	for seed := int64(1); seed <= 30 && !found; seed++ {
+		c := Gen(seed)
+		if c.Profile.Kind != elff.KindDynamic {
+			continue
+		}
+		if !o.Check(c).OK() {
+			failing, found = c, true
+		}
+	}
+	if !found {
+		t.Fatal("no failing dynamic seed under the injected bug")
+	}
+
+	shrunk, v := Shrink(o, failing)
+	if v.OK() {
+		t.Fatal("shrunk case no longer fails")
+	}
+	before, after := knobWeight(failing.Profile), knobWeight(shrunk.Profile)
+	if after >= before {
+		t.Fatalf("shrink did not reduce the profile: %d -> %d", before, after)
+	}
+	if after > before/2 {
+		t.Errorf("weak shrink: %d -> %d", before, after)
+	}
+	if shrunk.Profile.Kind != elff.KindStatic {
+		t.Errorf("kind not simplified: %v", shrunk.Profile.Kind)
+	}
+
+	// Repro round trip: the emitted file must reproduce the failure.
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := WriteRepro(path, shrunk, v); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv := o.Check(loaded); lv.OK() {
+		t.Fatal("loaded repro no longer fails")
+	}
+}
+
+// TestShrinkPassesThroughHealthyCase: shrinking a passing case is a
+// no-op returning the original.
+func TestShrinkPassesThroughHealthyCase(t *testing.T) {
+	o := newOracle(t, Options{Workers: []int{1}})
+	c := Gen(2)
+	shrunk, v := Shrink(o, c)
+	if !v.OK() {
+		t.Fatalf("healthy case failed: %v", v.Violations)
+	}
+	if knobWeight(shrunk.Profile) != knobWeight(c.Profile) {
+		t.Fatal("healthy case was modified")
+	}
+}

@@ -1,0 +1,39 @@
+package fuzzer
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bside/internal/corpus"
+)
+
+// Universe is the shared-library world fuzz cases are built against:
+// the standard corpus libraries (libc, the flat libx* family, the
+// libg* dependency DAG) held both in memory — for the emulator and the
+// program builder — and on disk, for the public file-based analyzer
+// API.
+type Universe struct {
+	// Set holds the parsed libraries, keyed by DT_NEEDED name.
+	Set *corpus.Set
+	// Dir is the on-disk library directory (Options.LibraryDir).
+	Dir string
+}
+
+// NewUniverse builds the library universe and writes every library
+// into dir (created if needed).
+func NewUniverse(dir string) (*Universe, error) {
+	set, err := corpus.NewLibrarySet()
+	if err != nil {
+		return nil, fmt.Errorf("fuzzer: build libraries: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	for name, bin := range set.Libs {
+		if err := bin.WriteFile(filepath.Join(dir, name)); err != nil {
+			return nil, fmt.Errorf("fuzzer: write %s: %w", name, err)
+		}
+	}
+	return &Universe{Set: set, Dir: dir}, nil
+}

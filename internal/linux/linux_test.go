@@ -119,3 +119,44 @@ func TestCVETable(t *testing.T) {
 		}
 	}
 }
+
+func TestFullTableRoundTrip(t *testing.T) {
+	// Every modeled syscall must survive number → name → number, so
+	// nothing in the table can shadow or mangle another entry.
+	for n := uint64(0); n < uint64(TableSize); n++ {
+		name := Name(n)
+		if name == "" {
+			t.Fatalf("syscall %d has no name", n)
+		}
+		back, ok := Number(name)
+		if !ok {
+			t.Fatalf("Name(%d)=%q does not resolve back", n, name)
+		}
+		if back != n {
+			t.Fatalf("round trip broke: %d -> %q -> %d", n, name, back)
+		}
+	}
+}
+
+func TestCVESyscallsExistInTable(t *testing.T) {
+	// Guard for Table 5: every CVE-relevant syscall must be a real
+	// entry of the modeled table, within range and non-duplicated
+	// within its CVE — otherwise the CVE audit silently evaluates the
+	// wrong filter rows.
+	for _, c := range CVEs {
+		seen := make(map[uint64]bool, len(c.Syscalls))
+		for _, n := range c.Syscalls {
+			if n > uint64(MaxSyscall) {
+				t.Errorf("%s: syscall %d out of table range", c.ID, n)
+				continue
+			}
+			if Name(n) == "" {
+				t.Errorf("%s: syscall %d missing from the table", c.ID, n)
+			}
+			if seen[n] {
+				t.Errorf("%s: duplicate syscall %d", c.ID, n)
+			}
+			seen[n] = true
+		}
+	}
+}

@@ -43,6 +43,20 @@ func Summarize(rep *ProgramReport) *Summary {
 	}
 }
 
+// normalize restores the computed-result shape after a cache round
+// trip: empty collections are stored as absent (omitempty) and load
+// back as nil, but callers are promised byte-identical results across
+// the cache cold and warm paths — found by the fuzzing oracle on
+// import-free binaries — so nil becomes the empty slice again.
+func (s *Summary) normalize() {
+	if s.Syscalls == nil {
+		s.Syscalls = []uint64{}
+	}
+	if s.Imports == nil {
+		s.Imports = []string{}
+	}
+}
+
 // confFingerprint encodes every analyzer setting that can change an
 // entry of the given kind. Entries stored under a different
 // fingerprint are misses, so tuning the analyzer never serves stale
@@ -127,6 +141,7 @@ func (a *Analyzer) ProgramSummary(bin *elff.Binary) (*Summary, *ProgramReport, e
 		var sum Summary
 		if a.Cache.Load(kindProgram, bin.Hash, conf, &sum) {
 			sum.Cached = true
+			sum.normalize()
 			return &sum, nil, nil
 		}
 	}
