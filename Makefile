@@ -4,7 +4,7 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build vet fmt-check test race bench bench-compare fuzz fuzz-nightly
+.PHONY: all build vet fmt-check test race bench bench-compare bench-check profile fuzz fuzz-nightly
 
 all: build vet fmt-check test
 
@@ -40,17 +40,37 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # Benchmark comparison artifact: the cold/warm cache, serial/parallel
-# batch, and intra-binary large-binary benchmarks rendered as
+# batch, and intra-binary large-binary benchmarks rendered (with
+# -benchmem, so the allocation trajectory is captured too) as
 # BENCH_<sha>.json — the per-PR performance trajectory CI uploads.
 # The bench run lands in a temp file first: a pipe would mask bench
 # failures (sh reports the last pipe element), and the in-bench
 # worker-count drift guard must be able to fail this target.
 bench-compare:
 	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary' \
-		-benchtime=3x -count=1 . > bench-compare.tmp
+		-benchtime=3x -benchmem -count=1 . > bench-compare.tmp
 	$(GO) run ./cmd/benchjson -commit $(SHA) < bench-compare.tmp > BENCH_$(SHA).json
 	@rm -f bench-compare.tmp
 	@echo "wrote BENCH_$(SHA).json"
+
+# Regression gate: the fresh artifact against the committed baseline.
+# Only allocs/op is gated — it is deterministic across machines, while
+# ns/op depends on the runner (the baseline was recorded on a different
+# box than CI's); time still lands in the artifact for human trending.
+# >10% more allocations on any shared benchmark fails the build.
+bench-check: bench-compare
+	$(GO) run ./cmd/benchjson -compare -metrics allocs/op BENCH_seed.json BENCH_$(SHA).json
+
+# CPU+heap profiles of the dominant workload (the large-binary
+# identification pass) plus the pprof one-liners to read them.
+profile:
+	$(GO) test -run='^$$' -bench='AnalyzeLargeBinary/workers=1' -benchtime=10x -benchmem \
+		-cpuprofile=cpu.prof -memprofile=mem.prof -o bside.test .
+	@echo ""
+	@echo "profiles written: cpu.prof mem.prof (binary: bside.test)"
+	@echo "  $(GO) tool pprof -top -nodecount=20 bside.test cpu.prof"
+	@echo "  $(GO) tool pprof -top -nodecount=20 -sample_index=alloc_objects bside.test mem.prof"
+	@echo "  $(GO) tool pprof -http=:8080 bside.test cpu.prof   # flame graph"
 
 # Randomized corpus fuzzing: soundness + invariance + baseline-sanity
 # oracle over a seed range, JSON verdict lines on stdout, non-zero exit

@@ -105,6 +105,15 @@ type Options struct {
 	// applies. Corrupt or stale entries are ignored and re-computed,
 	// never fatal.
 	CacheDir string
+	// DisableFuncMemo turns off the process-wide per-function summary
+	// memoization. By default identical functions — shared stubs across
+	// a corpus family, duplicated bodies across a batch, the same
+	// binary re-analyzed — are identified once per process (and once
+	// per machine when CacheDir is set, via "funcsum" cache entries).
+	// Results are byte-identical in both modes; the fuzzer's
+	// memoization-invariance axis enforces that. The switch exists for
+	// benchmarking the un-memoized substrate and for the oracle itself.
+	DisableFuncMemo bool
 }
 
 // Analyzer analyzes executables, caching shared-library interfaces
@@ -132,6 +141,7 @@ func NewAnalyzer(opts Options) *Analyzer {
 	inner.MaxCFGInsns = opts.MaxCFGInstructions
 	inner.Workers = opts.IntraWorkers
 	inner.Timeout = opts.Timeout
+	inner.DisableFuncMemo = opts.DisableFuncMemo
 	a := &Analyzer{inner: inner, modules: opts.Modules}
 	if opts.CacheDir != "" {
 		a.cache, a.cacheErr = cache.Open(opts.CacheDir)
@@ -140,21 +150,34 @@ func NewAnalyzer(opts Options) *Analyzer {
 	return a
 }
 
-// CacheStats is a snapshot of the persistent cache's traffic. Zero
-// when no CacheDir is configured.
+// CacheStats is a snapshot of the persistent cache's traffic (zero
+// when no CacheDir is configured) plus the function-summary memo's
+// hit-rate counters. The FuncMemo fields are process-wide — the memo
+// is shared by every Analyzer in the process — so they measure the
+// fleet's duplicate-function ratio, not one analyzer's.
 type CacheStats struct {
 	Hits   uint64
 	Misses uint64
 	Stores uint64
+	// FuncMemoHits counts per-function summaries served without
+	// re-analysis (from memory or the funcsum store partition).
+	FuncMemoHits uint64
+	// FuncMemoMisses counts function units that ran the real analysis.
+	FuncMemoMisses uint64
+	// FuncMemoEntries is the current in-memory memo population.
+	FuncMemoEntries int64
 }
 
 // CacheStats reports the analyzer's cache traffic so far.
 func (a *Analyzer) CacheStats() CacheStats {
-	if a.cache == nil {
-		return CacheStats{}
+	var out CacheStats
+	if a.cache != nil {
+		st := a.cache.Stats()
+		out.Hits, out.Misses, out.Stores = st.Hits, st.Misses, st.Stores
 	}
-	st := a.cache.Stats()
-	return CacheStats{Hits: st.Hits, Misses: st.Misses, Stores: st.Stores}
+	ms := ident.ProcessMemo().Stats()
+	out.FuncMemoHits, out.FuncMemoMisses, out.FuncMemoEntries = ms.Hits, ms.Misses, ms.Entries
+	return out
 }
 
 // Timings is the per-stage wall-clock cost record of one analysis —
@@ -349,18 +372,10 @@ func (a *Analyzer) analyze(bin *elff.Binary) (*Analysis, error) {
 			return nil, fmt.Errorf("bside: module %s: %w", path, err)
 		}
 		out.FailOpen = out.FailOpen || failOpen
-		merged := make(map[uint64]bool, len(out.Syscalls)+len(set))
-		for _, n := range out.Syscalls {
-			merged[n] = true
-		}
-		for _, n := range set {
-			merged[n] = true
-		}
-		out.Syscalls = out.Syscalls[:0]
-		for n := range merged {
-			out.Syscalls = append(out.Syscalls, n)
-		}
-		sort.Slice(out.Syscalls, func(i, j int) bool { return out.Syscalls[i] < out.Syscalls[j] })
+		var merged linux.ValueSet
+		merged.AddAll(out.Syscalls)
+		merged.AddAll(set)
+		out.Syscalls = merged.Append(out.Syscalls[:0])
 	}
 	return out, nil
 }

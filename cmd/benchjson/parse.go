@@ -51,21 +51,29 @@ func parseBench(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	b := Benchmark{Name: fields[0], Runs: runs}
-	// The remainder alternates value/unit.
+	// The remainder alternates value/unit. The allocation pair from
+	// -benchmem is first-class — the regression gate compares it — and
+	// anything else lands in Metrics.
+	found := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			continue
 		}
-		unit := fields[i+1]
-		if unit == "ns/op" {
+		found = true
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
 			b.NsPerOp = v
-			continue
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
 		}
-		if b.Metrics == nil {
-			b.Metrics = make(map[string]float64)
-		}
-		b.Metrics[unit] = v
 	}
-	return b, b.NsPerOp > 0 || len(b.Metrics) > 0
+	return b, found
 }

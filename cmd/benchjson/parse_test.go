@@ -24,7 +24,7 @@ func TestParseBench(t *testing.T) {
 			line: "BenchmarkAnalyzeLargeBinary/workers=4-8   3   1234.5 ns/op   12 B/op   1 allocs/op",
 			want: Benchmark{
 				Name: "BenchmarkAnalyzeLargeBinary/workers=4-8", Runs: 3, NsPerOp: 1234.5,
-				Metrics: map[string]float64{"B/op": 12, "allocs/op": 1},
+				BytesPerOp: 12, AllocsPerOp: 1,
 			},
 			ok: true,
 		},

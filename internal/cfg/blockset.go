@@ -1,0 +1,88 @@
+package cfg
+
+// BlockSet is a dense bitset over a Graph's blocks, indexed by the
+// stable integer IDs Recover assigns in address order. It replaces the
+// map[*Block]bool sets of the analysis hot paths: membership is one
+// shift, insertion never allocates after construction, and a set sized
+// for the graph can be reused across searches via Reset. The zero
+// value is an empty set that grows on first Add.
+type BlockSet struct {
+	words []uint64
+	n     int
+}
+
+// NewBlockSet returns an empty set with capacity for a graph of
+// numBlocks blocks.
+func NewBlockSet(numBlocks int) *BlockSet {
+	return &BlockSet{words: make([]uint64, (numBlocks+63)/64)}
+}
+
+// grow ensures the set can hold bit id.
+func (s *BlockSet) grow(id int) {
+	if w := id/64 + 1; w > len(s.words) {
+		words := make([]uint64, w)
+		copy(words, s.words)
+		s.words = words
+	}
+}
+
+// Add inserts b and reports whether it was absent.
+func (s *BlockSet) Add(b *Block) bool {
+	s.grow(b.ID)
+	w, bit := b.ID/64, uint64(1)<<(b.ID%64)
+	if s.words[w]&bit != 0 {
+		return false
+	}
+	s.words[w] |= bit
+	s.n++
+	return true
+}
+
+// Has reports whether b is a member. A nil set is empty.
+func (s *BlockSet) Has(b *Block) bool {
+	if s == nil {
+		return false
+	}
+	w := b.ID / 64
+	return w < len(s.words) && s.words[w]&(1<<(b.ID%64)) != 0
+}
+
+// Len returns the number of members.
+func (s *BlockSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Reset empties the set, keeping its capacity for reuse.
+func (s *BlockSet) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.n = 0
+}
+
+// ReachableSet is the bitset form of Reachable: the set of blocks
+// reachable from the given root addresses following all edge kinds.
+// Iteration order is the caller's choice — walking SortedBlocks and
+// filtering with Has yields address order without sorting.
+func (g *Graph) ReachableSet(roots ...uint64) *BlockSet {
+	seen := NewBlockSet(len(g.sortedBlocks))
+	var stack []*Block
+	for _, r := range roots {
+		if b, ok := g.Blocks[r]; ok && seen.Add(b) {
+			stack = append(stack, b)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range b.Succs {
+			if seen.Add(e.To) {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}

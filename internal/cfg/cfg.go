@@ -77,6 +77,11 @@ type Block struct {
 	Succs []Edge
 	Preds []Edge
 
+	// ID is the block's dense index in address order, assigned by
+	// Recover: 0 <= ID < Graph.NumBlocks(). BlockSet and the analysis
+	// scratch buffers are indexed by it.
+	ID int
+
 	// ImportCall is the name of the imported symbol this block calls or
 	// jumps to through a GOT slot ("" if none).
 	ImportCall string
@@ -244,6 +249,10 @@ func (g *Graph) Reachable(roots ...uint64) map[*Block]bool {
 // SortedBlocks returns all blocks in address order. Callers must not
 // modify the returned slice.
 func (g *Graph) SortedBlocks() []*Block { return g.sortedBlocks }
+
+// NumBlocks returns the number of blocks; block IDs are dense in
+// [0, NumBlocks).
+func (g *Graph) NumBlocks() int { return len(g.sortedBlocks) }
 
 // Listing renders a human-readable disassembly of the recovered graph:
 // functions in address order, their blocks, and per-block annotations

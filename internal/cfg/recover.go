@@ -237,6 +237,14 @@ func (b *builder) buildBlocks(g *Graph, active map[uint64]bool) {
 	}
 	flush()
 
+	// Dense IDs in address order: the substrate of BlockSet and every
+	// index-backed scratch buffer downstream. Reassigned on every
+	// refinement round; the final round's numbering is the one the
+	// frozen graph carries.
+	for i, blk := range g.sortedBlocks {
+		blk.ID = i
+	}
+
 	activeBlocks := make([]*Block, 0, len(active))
 	for ea := range active {
 		if blk, ok := g.Blocks[ea]; ok {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"bside/internal/cfg"
+	"bside/internal/linux"
 	"bside/internal/symex"
 )
 
@@ -35,36 +36,33 @@ func ExportProfiles(g *cfg.Graph, rep *Report) []ExportProfile {
 		wrapperByEntry[w.FnEntry] = w.Param
 	}
 
+	var values linux.ValueSet
+	var imports []string
 	profiles := make([]ExportProfile, 0, len(g.Bin.Exports))
 	for _, ex := range g.Bin.Exports {
 		p := ExportProfile{Name: ex.Name, Addr: ex.Addr}
-		reach := g.Reachable(ex.Addr)
+		reach := g.ReachableSet(ex.Addr)
 
-		values := make(map[uint64]bool)
+		values.Reset()
 		for _, site := range rep.Sites {
-			if !reach[site.Block] {
+			if !reach.Has(site.Block) {
 				continue
 			}
 			if site.FailOpen {
 				p.FailOpen = true
 			}
-			for _, v := range site.Syscalls {
-				values[v] = true
-			}
+			values.AddAll(site.Syscalls)
 		}
-		p.Syscalls = make([]uint64, 0, len(values))
-		for v := range values {
-			p.Syscalls = append(p.Syscalls, v)
-		}
-		sort.Slice(p.Syscalls, func(i, j int) bool { return p.Syscalls[i] < p.Syscalls[j] })
+		p.Syscalls = values.Append(make([]uint64, 0, values.Len()))
 
-		imports := make(map[string]bool)
-		for blk := range reach {
-			if blk.ImportCall != "" {
-				imports[blk.ImportCall] = true
+		imports = imports[:0]
+		for _, blk := range g.SortedBlocks() {
+			if blk.ImportCall != "" && reach.Has(blk) {
+				imports = append(imports, blk.ImportCall)
 			}
 		}
-		p.Imports = sortedStrings(imports)
+		sort.Strings(imports)
+		p.Imports = compactStrings(imports)
 
 		if fn, ok := g.FuncByEntry(ex.Addr); ok {
 			if param, isWrapper := wrapperByEntry[fn.Entry]; isWrapper {
@@ -76,4 +74,15 @@ func ExportProfiles(g *cfg.Graph, rep *Report) []ExportProfile {
 	}
 	sort.Slice(profiles, func(i, j int) bool { return profiles[i].Name < profiles[j].Name })
 	return profiles
+}
+
+// compactStrings copies a sorted slice, dropping adjacent duplicates.
+func compactStrings(in []string) []string {
+	out := make([]string, 0, len(in))
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
 }

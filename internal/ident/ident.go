@@ -23,7 +23,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bside/internal/cache"
 	"bside/internal/cfg"
+	"bside/internal/linux"
 	"bside/internal/symex"
 	"bside/internal/x86"
 )
@@ -60,8 +62,22 @@ type Config struct {
 	// carries the syscall number.
 	ImportWrappers map[string]symex.ParamRef
 	// SyscallUpper discards resolved values at or above this bound
-	// (they are addresses or artifacts, not syscall numbers).
+	// (they are addresses or artifacts, not syscall numbers). It is
+	// capped at linux.SyscallSetBits (512) — the fixed width of the
+	// syscall bitsets the report layer accumulates through, and far
+	// above the real table's maximum number.
 	SyscallUpper uint64
+	// Memo, when non-nil, memoizes per-function wrapper verdicts and
+	// self-contained site identifications, keyed by function content
+	// and configuration (see memo.go for the soundness model). Results
+	// are byte-identical with and without it; only the work changes.
+	// Production paths share ProcessMemo(); nil disables memoization.
+	Memo *Memo
+	// MemoStore, when set alongside Memo, persists memo entries through
+	// the content-addressed cache store ("funcsum" entries), so
+	// identical functions are analyzed once per machine, not just once
+	// per process.
+	MemoStore *cache.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -77,8 +93,8 @@ func (c Config) withDefaults() Config {
 	if c.StackParams == 0 {
 		c.StackParams = 8
 	}
-	if c.SyscallUpper == 0 {
-		c.SyscallUpper = 1024
+	if c.SyscallUpper == 0 || c.SyscallUpper > linux.SyscallSetBits {
+		c.SyscallUpper = linux.SyscallSetBits
 	}
 	return c
 }
@@ -197,7 +213,7 @@ type Pass struct {
 	g       *cfg.Graph
 	conf    Config
 	machine *symex.Machine
-	reach   map[*cfg.Block]bool
+	reach   *cfg.BlockSet
 
 	sites     []*cfg.Block // reachable syscall sites, address order
 	importSet map[string]bool
@@ -206,6 +222,19 @@ type Pass struct {
 	wrappers     map[uint64]*WrapperInfo // function entry -> info
 	wrapperInfos []WrapperInfo
 	wrapTime     time.Duration
+
+	// memoConf is the configuration fragment of every memo key; empty
+	// when memoization is off.
+	memoConf string
+	// fnHash caches funcFingerprint per function for this pass.
+	fnHashMu sync.Mutex
+	fnHash   map[*cfg.Func]string
+
+	// scratchPool holds per-search scratch bundles; setPool holds bare
+	// block sets for the smaller dedup jobs. Both are sized for g, so
+	// buffers recycle across the pass's units and goroutines.
+	scratchPool sync.Pool
+	setPool     sync.Pool
 }
 
 // Prepare resolves the cheap shared facts of a binary's identification:
@@ -213,22 +242,53 @@ type Pass struct {
 func Prepare(g *cfg.Graph, conf Config) *Pass {
 	conf = conf.withDefaults()
 	p := &Pass{g: g, conf: conf, machine: symex.NewMachine(g, conf.Budget)}
-	p.reach = g.Reachable(g.Roots...)
+	if conf.Memo != nil {
+		p.memoConf = memoConfKey(conf)
+		p.fnHash = make(map[*cfg.Func]string)
+	}
+	numBlocks := g.NumBlocks()
+	p.scratchPool.New = func() any { return newSearchScratch(numBlocks) }
+	p.setPool.New = func() any { return cfg.NewBlockSet(numBlocks) }
+	p.reach = g.ReachableSet(g.Roots...)
 
 	p.importSet = make(map[string]bool)
-	for blk := range p.reach {
+	for _, blk := range g.SortedBlocks() {
+		if !p.reach.Has(blk) {
+			continue
+		}
 		if blk.ImportCall != "" {
 			p.importSet[blk.ImportCall] = true
 		}
-	}
-	p.imports = sortedStrings(p.importSet)
-
-	for _, blk := range g.SyscallBlocks() {
-		if p.reach[blk] {
+		if blk.EndsInSyscall() {
 			p.sites = append(p.sites, blk)
 		}
 	}
+	p.imports = sortedStrings(p.importSet)
 	return p
+}
+
+// getSet returns an empty pooled BlockSet sized for the graph.
+func (p *Pass) getSet() *cfg.BlockSet {
+	s := p.setPool.Get().(*cfg.BlockSet)
+	s.Reset()
+	return s
+}
+
+func (p *Pass) putSet(s *cfg.BlockSet) { p.setPool.Put(s) }
+
+// funcHash returns (and caches) the content fingerprint of fn.
+func (p *Pass) funcHash(fn *cfg.Func) string {
+	p.fnHashMu.Lock()
+	h, ok := p.fnHash[fn]
+	p.fnHashMu.Unlock()
+	if ok {
+		return h
+	}
+	h = funcFingerprint(fn)
+	p.fnHashMu.Lock()
+	p.fnHash[fn] = h
+	p.fnHashMu.Unlock()
+	return h
 }
 
 // SiteCount returns how many reachable syscall sites the pass covers.
@@ -381,7 +441,7 @@ func (p *Pass) Identify() (*Report, error) {
 	rep.Stats.Wrappers = len(p.wrappers)
 	rep.Stats.WrapperDetect = p.wrapTime
 
-	values := make(map[uint64]bool)
+	var values linux.SyscallBitset
 	for _, unit := range results {
 		for _, res := range unit {
 			rep.Sites = append(rep.Sites, res)
@@ -391,7 +451,7 @@ func (p *Pass) Identify() (*Report, error) {
 			}
 			for _, v := range res.Syscalls {
 				if v < p.conf.SyscallUpper {
-					values[v] = true
+					values.Add(v)
 				}
 			}
 		}
@@ -402,11 +462,7 @@ func (p *Pass) Identify() (*Report, error) {
 		return nil, fmt.Errorf("identification: %w", ErrTimeout)
 	}
 
-	rep.Syscalls = make([]uint64, 0, len(values))
-	for v := range values {
-		rep.Syscalls = append(rep.Syscalls, v)
-	}
-	sort.Slice(rep.Syscalls, func(i, j int) bool { return rep.Syscalls[i] < rep.Syscalls[j] })
+	rep.Syscalls = values.Append(make([]uint64, 0, values.Len()))
 	// One block can be the call site of several targets (an indirect
 	// call with multiple wrapper candidates), so Addr alone is not a
 	// total order; the (Kind, Wrapper) tiebreak keeps the listing
@@ -474,17 +530,17 @@ func (p *Pass) callSitesOf(entry uint64) []*cfg.Block {
 		return nil
 	}
 	var out []*cfg.Block
-	seen := make(map[*cfg.Block]bool)
+	seen := p.getSet()
 	for _, e := range entryBlk.Preds {
 		if e.Kind != cfg.EdgeCall && e.Kind != cfg.EdgeIndirectCall {
 			continue
 		}
-		if !p.reach[e.From] || seen[e.From] {
+		if !p.reach.Has(e.From) || !seen.Add(e.From) {
 			continue
 		}
-		seen[e.From] = true
 		out = append(out, e.From)
 	}
+	p.putSet(seen)
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }
@@ -493,15 +549,15 @@ func (p *Pass) callSitesOf(entry uint64) []*cfg.Block {
 // import: direct calls through [rip+slot], and calls to its local stub.
 func (p *Pass) importCallSites(name string) []*cfg.Block {
 	var out []*cfg.Block
-	seen := make(map[*cfg.Block]bool)
+	seen := p.getSet()
+	defer p.putSet(seen)
 	add := func(b *cfg.Block) {
-		if b != nil && p.reach[b] && !seen[b] {
-			seen[b] = true
+		if b != nil && p.reach.Has(b) && seen.Add(b) {
 			out = append(out, b)
 		}
 	}
-	for blk := range p.reach {
-		if blk.ImportCall == name && blk.Last().Op == x86.OpCallInd {
+	for _, blk := range p.g.SortedBlocks() {
+		if blk.ImportCall == name && p.reach.Has(blk) && blk.Last().Op == x86.OpCallInd {
 			add(blk)
 		}
 	}

@@ -4,9 +4,41 @@ import (
 	"sort"
 
 	"bside/internal/cfg"
+	"bside/internal/linux"
 	"bside/internal/symex"
 	"bside/internal/x86"
 )
+
+// searchScratch is the reusable working set of one backward search:
+// the directed set handed to the symbolic executor, the BFS visited
+// set, a dedup set for predecessor enumeration, the frontier slices,
+// and the value accumulator. Bundles are pooled per Pass, so the
+// per-site cost is a handful of Resets instead of a handful of maps.
+type searchScratch struct {
+	directed *cfg.BlockSet
+	visited  *cfg.BlockSet
+	predSeen *cfg.BlockSet
+	pending  []*cfg.Block
+	next     []*cfg.Block
+	preds    []*cfg.Block
+	values   linux.ValueSet
+}
+
+func newSearchScratch(numBlocks int) *searchScratch {
+	return &searchScratch{
+		directed: cfg.NewBlockSet(numBlocks),
+		visited:  cfg.NewBlockSet(numBlocks),
+		predSeen: cfg.NewBlockSet(numBlocks),
+	}
+}
+
+func (s *searchScratch) reset() {
+	s.directed.Reset()
+	s.visited.Reset()
+	s.pending = s.pending[:0]
+	s.next = s.next[:0]
+	s.values.Reset()
+}
 
 // identify implements the search of Figure 5: starting from the target
 // block (which resolves Figure 1-A cases by itself), predecessors are
@@ -19,9 +51,46 @@ import (
 // If param is nil the queried value is %rax before the target's syscall
 // instruction; otherwise it is the given wrapper parameter before the
 // target's call instruction.
+//
+// A search that stays within the target's containing function is a pure
+// function of that function's content and is served from (and recorded
+// into) the configured Memo; see memo.go for the exact gating.
 func (p *Pass) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
 	res := SiteResult{Addr: target.Last().Addr, Block: target}
-	values := make(map[uint64]bool)
+
+	fn, fnOK := p.g.FuncContaining(target.Addr)
+	var memoKey string
+	if p.conf.Memo != nil && fnOK {
+		memoKey = p.siteMemoKey(fn, target, param)
+		var rec siteRec
+		if p.conf.Memo.load(memoKey, p.conf.MemoStore, &rec) {
+			if rec.Syscalls == nil {
+				rec.Syscalls = []uint64{}
+			}
+			// The stored slice is shared between hits; every consumer
+			// treats site results as read-only. Replaying the recorded
+			// budget consumption keeps a tight budget exhausting at the
+			// same point as an unmemoized run.
+			p.conf.Budget.AddSteps(rec.Steps)
+			p.conf.Budget.AddForks(rec.Forks)
+			res.Syscalls = rec.Syscalls
+			res.FailOpen = rec.FailOpen
+			res.BlocksExplored = rec.Blocks
+			return res
+		}
+	}
+
+	sc := p.scratchPool.Get().(*searchScratch)
+	sc.reset()
+
+	// contained tracks whether every block the search touched — the
+	// frontier it visited and every predecessor it enumerated — lies in
+	// fn; budgetShaped tracks whether the shared budget cut the search.
+	// Only contained, budget-clean results are memoizable. steps/forks
+	// accumulate this search's own budget consumption for replay.
+	contained := fnOK
+	budgetShaped := false
+	steps, forks := 0, 0
 
 	query := func(st *symex.State) symex.Value {
 		if param == nil {
@@ -30,26 +99,31 @@ func (p *Pass) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
 		return symex.ParamValueAtCall(st, *param)
 	}
 
-	directed := make(map[*cfg.Block]bool)
-
 	// evaluate runs forward from `from` and folds the observed values.
 	// It returns (allConcrete, reachedSite).
 	evaluate := func(from *cfg.Block) (bool, bool) {
-		run := p.machine.RunToSite(from, symex.NewState(), directed, target)
+		run := p.machine.RunToSite(from, p.machine.NewState(), sc.directed, target)
 		res.BlocksExplored += run.BlocksExecuted
+		steps += run.Steps
+		forks += run.Forks
 		if run.HitBudget {
 			res.FailOpen = true
-			return false, len(run.SiteStates) > 0
+			budgetShaped = true
+			hit := len(run.SiteStates) > 0
+			p.machine.Release(&run)
+			return false, hit
 		}
 		all := len(run.SiteStates) > 0
 		for _, st := range run.SiteStates {
 			if k, ok := query(st).IsConst(); ok {
-				values[k] = true
+				sc.values.Add(k)
 			} else {
 				all = false
 			}
 		}
-		return all, len(run.SiteStates) > 0
+		hit := len(run.SiteStates) > 0
+		p.machine.Release(&run)
+		return all, hit
 	}
 
 	// The target block itself first (Figure 1-A: the defining immediate
@@ -57,27 +131,29 @@ func (p *Pass) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
 	selfConcrete, _ := evaluate(target)
 
 	if !selfConcrete && !res.FailOpen {
-		visited := map[*cfg.Block]bool{target: true}
-		pending := predBlocks(target)
-		if len(pending) == 0 {
+		sc.visited.Add(target)
+		sc.pending = predBlocksInto(target, sc.predSeen, sc.pending)
+		if len(sc.pending) == 0 {
 			// Nothing above the target can define the value.
 			res.FailOpen = true
 		}
+		if contained {
+			contained = p.allInFunc(fn, sc.pending)
+		}
 		frontier := 0
 
-		for depth := 1; len(pending) > 0 && depth <= p.conf.MaxBFSDepth; depth++ {
-			var next []*cfg.Block
-			for _, blk := range pending {
-				if visited[blk] {
+		for depth := 1; len(sc.pending) > 0 && depth <= p.conf.MaxBFSDepth; depth++ {
+			sc.next = sc.next[:0]
+			for _, blk := range sc.pending {
+				if !sc.visited.Add(blk) {
 					continue
 				}
-				visited[blk] = true
 				frontier++
 				if frontier > p.conf.MaxFrontier {
 					res.FailOpen = true
 					break
 				}
-				directed[blk] = true
+				sc.directed.Add(blk)
 				allConcrete, _ := evaluate(blk)
 				if res.FailOpen {
 					break
@@ -86,45 +162,94 @@ func (p *Pass) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
 					// Immediate-defining: prune this path.
 					continue
 				}
-				preds := predBlocks(blk)
-				if len(preds) == 0 {
+				sc.preds = predBlocksInto(blk, sc.predSeen, sc.preds[:0])
+				if len(sc.preds) == 0 {
 					// The search ran off the top of the program (or an
 					// unreferenced root) without bounding the value.
 					res.FailOpen = true
 					break
 				}
-				next = append(next, preds...)
+				if contained {
+					contained = p.allInFunc(fn, sc.preds)
+				}
+				sc.next = append(sc.next, sc.preds...)
 			}
 			if res.FailOpen {
 				break
 			}
-			pending = next
-			if len(pending) > 0 && depth == p.conf.MaxBFSDepth {
+			sc.pending, sc.next = sc.next, sc.pending
+			if len(sc.pending) > 0 && depth == p.conf.MaxBFSDepth {
 				res.FailOpen = true
 			}
 		}
 	}
 
-	res.Syscalls = make([]uint64, 0, len(values))
-	for v := range values {
-		res.Syscalls = append(res.Syscalls, v)
+	res.Syscalls = sc.values.Append(make([]uint64, 0, sc.values.Len()))
+	p.scratchPool.Put(sc)
+
+	if memoKey != "" && contained && !budgetShaped {
+		store := p.conf.MemoStore
+		if res.BlocksExplored < persistMinBlocks {
+			store = nil // cheaper to recompute than to hit the disk
+		}
+		p.conf.Memo.save(memoKey, store, siteRec{
+			Syscalls: res.Syscalls,
+			FailOpen: res.FailOpen,
+			Blocks:   res.BlocksExplored,
+			Steps:    steps,
+			Forks:    forks,
+		})
 	}
-	sort.Slice(res.Syscalls, func(i, j int) bool { return res.Syscalls[i] < res.Syscalls[j] })
 	return res
 }
 
-// predBlocks returns the deduplicated predecessor blocks of b across
-// every edge kind (fall, jump, call, call-fall, indirect).
-func predBlocks(b *cfg.Block) []*cfg.Block {
-	seen := make(map[*cfg.Block]bool, len(b.Preds))
-	out := make([]*cfg.Block, 0, len(b.Preds))
+// siteMemoKey names one (function content, site, queried parameter,
+// configuration) identification in the memo.
+func (p *Pass) siteMemoKey(fn *cfg.Func, target *cfg.Block, param *symex.ParamRef) string {
+	key := "i\x00" + p.memoConf + "\x00" + p.funcHash(fn) + "\x00" + hexU64(target.Addr-fn.Entry) + "\x00"
+	if param == nil {
+		return key + "-"
+	}
+	if param.Stack {
+		return key + "s" + hexU64(uint64(param.Off))
+	}
+	return key + "r" + hexU64(uint64(param.Reg))
+}
+
+func hexU64(v uint64) string {
+	const digits = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return string(buf[:])
+}
+
+// allInFunc reports whether every block of blks belongs to fn.
+func (p *Pass) allInFunc(fn *cfg.Func, blks []*cfg.Block) bool {
+	for _, b := range blks {
+		if f, ok := p.g.FuncContaining(b.Addr); !ok || f != fn {
+			return false
+		}
+	}
+	return true
+}
+
+// predBlocksInto appends the deduplicated predecessor blocks of b
+// across every edge kind (fall, jump, call, call-fall, indirect) to
+// out, in ascending address order. seen is caller-owned scratch; it is
+// reset here.
+func predBlocksInto(b *cfg.Block, seen *cfg.BlockSet, out []*cfg.Block) []*cfg.Block {
+	seen.Reset()
+	start := len(out)
 	for _, e := range b.Preds {
-		if e.From == b || seen[e.From] {
+		if e.From == b || !seen.Add(e.From) {
 			continue
 		}
-		seen[e.From] = true
 		out = append(out, e.From)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	added := out[start:]
+	sort.Slice(added, func(i, j int) bool { return added[i].Addr < added[j].Addr })
 	return out
 }

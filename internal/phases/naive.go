@@ -7,6 +7,7 @@ import (
 
 	"bside/internal/cfg"
 	"bside/internal/ident"
+	"bside/internal/linux"
 )
 
 // NaivePhase is a phase found by the strawman detector.
@@ -94,23 +95,15 @@ func DetectNaive(in Input) []NaivePhase {
 // Report.FailOpen first.
 func EmitsFromReport(rep *ident.Report) map[uint64][]uint64 {
 	out := make(map[uint64][]uint64)
+	var set linux.ValueSet
 	for _, site := range rep.Sites {
 		if site.Kind == ident.SiteWrapperDef || len(site.Syscalls) == 0 {
 			continue
 		}
-		set := make(map[uint64]bool, len(site.Syscalls))
-		for _, s := range out[site.Block.Addr] {
-			set[s] = true
-		}
-		for _, s := range site.Syscalls {
-			set[s] = true
-		}
-		merged := make([]uint64, 0, len(set))
-		for s := range set {
-			merged = append(merged, s)
-		}
-		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
-		out[site.Block.Addr] = merged
+		set.Reset()
+		set.AddAll(out[site.Block.Addr])
+		set.AddAll(site.Syscalls)
+		out[site.Block.Addr] = set.Slice()
 	}
 	return out
 }

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"bside/internal/cfg"
+	"bside/internal/linux"
 	"bside/internal/x86"
 )
 
@@ -142,7 +143,7 @@ func Detect(in Input, conf Config) (*Automaton, error) {
 		onSym  []int    // successors taken on any label
 	}
 	nodes := make([]nfa, len(blocks))
-	alphaSet := make(map[uint64]bool)
+	var alphaSet linux.ValueSet
 	for i, b := range blocks {
 		emits := in.Emits[b.Addr]
 		for _, e := range b.Succs {
@@ -158,9 +159,7 @@ func Detect(in Input, conf Config) (*Automaton, error) {
 		}
 		if len(emits) > 0 {
 			nodes[i].labels = append([]uint64(nil), emits...)
-			for _, s := range emits {
-				alphaSet[s] = true
-			}
+			alphaSet.AddAll(emits)
 		}
 	}
 
@@ -210,11 +209,7 @@ func Detect(in Input, conf Config) (*Automaton, error) {
 			}
 		}
 	}
-	alphabet := make([]uint64, 0, len(alphaSet))
-	for s := range alphaSet {
-		alphabet = append(alphabet, s)
-	}
-	sort.Slice(alphabet, func(i, j int) bool { return alphabet[i] < alphabet[j] })
+	alphabet := alphaSet.Slice()
 
 	// ε-closure over bitsets.
 	words := (len(blocks) + 63) / 64
@@ -337,10 +332,10 @@ func Detect(in Input, conf Config) (*Automaton, error) {
 		out.Phases[i] = &Phase{ID: i, Transitions: make(map[int][]uint64)}
 	}
 	blockSets := make([]map[uint64]bool, numPhases)
-	transSets := make([]map[int]map[uint64]bool, numPhases)
+	transSets := make([]map[int]*linux.ValueSet, numPhases)
 	for i := range blockSets {
 		blockSets[i] = make(map[uint64]bool)
-		transSets[i] = make(map[int]map[uint64]bool)
+		transSets[i] = make(map[int]*linux.ValueSet)
 	}
 	for id, st := range dfa {
 		p := comp[id]
@@ -351,10 +346,12 @@ func Detect(in Input, conf Config) (*Automaton, error) {
 		}
 		for s, to := range st.trans {
 			dst := comp[to]
-			if transSets[p][dst] == nil {
-				transSets[p][dst] = make(map[uint64]bool)
+			set := transSets[p][dst]
+			if set == nil {
+				set = new(linux.ValueSet)
+				transSets[p][dst] = set
 			}
-			transSets[p][dst][s] = true
+			set.Add(s)
 		}
 	}
 	for p, ph := range out.Phases {
@@ -365,21 +362,12 @@ func Detect(in Input, conf Config) (*Automaton, error) {
 			}
 		}
 		sort.Slice(ph.Blocks, func(i, j int) bool { return ph.Blocks[i] < ph.Blocks[j] })
-		allowed := make(map[uint64]bool)
+		var allowed linux.ValueSet
 		for dst, set := range transSets[p] {
-			syms := make([]uint64, 0, len(set))
-			for s := range set {
-				syms = append(syms, s)
-				allowed[s] = true
-			}
-			sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-			ph.Transitions[dst] = syms
+			allowed.Union(set)
+			ph.Transitions[dst] = set.Slice()
 		}
-		ph.Allowed = make([]uint64, 0, len(allowed))
-		for s := range allowed {
-			ph.Allowed = append(ph.Allowed, s)
-		}
-		sort.Slice(ph.Allowed, func(i, j int) bool { return ph.Allowed[i] < ph.Allowed[j] })
+		ph.Allowed = allowed.Slice()
 	}
 
 	if conf.BackPropagate {
@@ -400,12 +388,9 @@ func backPropagate(a *Automaton) {
 			}
 		}
 	})
-	allowed := make([]map[uint64]bool, n)
+	allowed := make([]linux.ValueSet, n)
 	for i, ph := range a.Phases {
-		allowed[i] = make(map[uint64]bool, len(ph.Allowed))
-		for _, s := range ph.Allowed {
-			allowed[i][s] = true
-		}
+		allowed[i].AddAll(ph.Allowed)
 	}
 	// Visit in reverse topological order: successors first.
 	for _, i := range order {
@@ -413,17 +398,11 @@ func backPropagate(a *Automaton) {
 			if dst == i {
 				continue
 			}
-			for s := range allowed[dst] {
-				allowed[i][s] = true
-			}
+			allowed[i].Union(&allowed[dst])
 		}
 	}
 	for i, ph := range a.Phases {
-		ph.Allowed = ph.Allowed[:0]
-		for s := range allowed[i] {
-			ph.Allowed = append(ph.Allowed, s)
-		}
-		sort.Slice(ph.Allowed, func(x, y int) bool { return ph.Allowed[x] < ph.Allowed[y] })
+		ph.Allowed = allowed[i].Append(ph.Allowed[:0])
 	}
 }
 

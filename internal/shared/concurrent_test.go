@@ -1,6 +1,7 @@
 package shared
 
 import (
+	"io/fs"
 	"path/filepath"
 	"reflect"
 	"sync"
@@ -249,13 +250,27 @@ func TestInterfaceContentCache(t *testing.T) {
 		return main
 	}
 
+	// Per-function "funcsum" entries share the store, so the guard
+	// against re-analysis counts interface-kind entries on disk, not
+	// total stores.
+	countInterfaces := func() int {
+		n := 0
+		_ = filepath.WalkDir(filepath.Join(store.Dir(), "interface"), func(path string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() {
+				n++
+			}
+			return nil
+		})
+		return n
+	}
+
 	a1 := NewAnalyzer(counting, ident.Config{})
 	a1.Cache = store
 	if _, err := a1.Program(mkMain(1)); err != nil {
 		t.Fatal(err)
 	}
-	storesAfterFirst := store.Stats().Stores
-	if storesAfterFirst == 0 {
+	interfacesAfterFirst := countInterfaces()
+	if store.Stats().Stores == 0 || interfacesAfterFirst == 0 {
 		t.Fatal("nothing persisted")
 	}
 
@@ -275,10 +290,10 @@ func TestInterfaceContentCache(t *testing.T) {
 	if st.Hits == 0 {
 		t.Fatalf("interface not served from store: %+v", st)
 	}
-	// The libc interface entry must not be re-analyzed or rewritten
-	// (Program stores only interfaces, so the store count is unchanged).
-	if st.Stores != storesAfterFirst {
-		t.Fatalf("unexpected stores: %+v (first run ended at %d)", st, storesAfterFirst)
+	// The libc interface entry must not be re-analyzed or rewritten:
+	// the interface-kind entry count is unchanged.
+	if n := countInterfaces(); n != interfacesAfterFirst {
+		t.Fatalf("interface entries grew: %d (first run ended at %d)", n, interfacesAfterFirst)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"bside/internal/cfg"
 	"bside/internal/elff"
 	"bside/internal/ident"
+	"bside/internal/linux"
 	"bside/internal/phases"
 	"bside/internal/pipeline"
 	"bside/internal/symex"
@@ -58,12 +59,19 @@ type Analyzer struct {
 	// content-addressed and validates dependency hashes.
 	InterfaceDir string
 	// Cache, when set, is the content-addressed store consulted before
-	// any expensive work: shared interfaces and whole-program summaries
-	// are keyed by the SHA-256 of the ELF image they were derived from
-	// (plus a configuration and dependency-hash fingerprint), so
-	// results persist across processes and survive library upgrades
-	// without going stale.
+	// any expensive work: shared interfaces, whole-program summaries
+	// and per-function summaries are keyed by the SHA-256 of the
+	// content they were derived from (plus a configuration and
+	// dependency-hash fingerprint where applicable), so results persist
+	// across processes and survive library upgrades without going
+	// stale.
 	Cache *cache.Store
+	// DisableFuncMemo turns off the process-wide per-function summary
+	// memoization (ident.ProcessMemo). Results are byte-identical
+	// either way — the fuzzer's memoization-invariance axis holds the
+	// two modes to that — so the switch exists for benchmarking and for
+	// the oracle itself, not for correctness.
+	DisableFuncMemo bool
 
 	mu         sync.Mutex
 	interfaces map[string]*Interface
@@ -143,7 +151,9 @@ func (a *Analyzer) Interfaces() map[string]*Interface {
 }
 
 // confFor derives the per-unit identification config: the template with
-// a private budget, so concurrent units cannot race on the counters.
+// a private budget, so concurrent units cannot race on the counters,
+// and the process-wide function-summary memo (persisted through the
+// cache store when one is configured).
 func (a *Analyzer) confFor() ident.Config {
 	conf := a.Config
 	conf.Workers = a.Workers
@@ -155,6 +165,10 @@ func (a *Analyzer) confFor() ident.Config {
 			conf.Budget = symex.NewBudget()
 		}
 		conf.Budget.Deadline = time.Now().Add(a.Timeout)
+	}
+	if !a.DisableFuncMemo {
+		conf.Memo = ident.ProcessMemo()
+		conf.MemoStore = a.Cache
 	}
 	return conf
 }
@@ -455,10 +469,8 @@ func (a *Analyzer) closedExportWalkLocked(scope map[string]bool, scopeKey string
 	onStack[key] = depth
 	defer delete(onStack, key)
 
-	set := make(map[uint64]bool)
-	for _, n := range exp.Syscalls {
-		set[n] = true
-	}
+	var set linux.ValueSet
+	set.AddAll(exp.Syscalls)
 	failOpen := exp.FailOpen
 	low := depth + 1
 	for _, sym := range exp.Imports {
@@ -479,12 +491,10 @@ func (a *Analyzer) closedExportWalkLocked(scope map[string]bool, scopeKey string
 		if sublow < low {
 			low = sublow
 		}
-		for _, n := range es.syscalls {
-			set[n] = true
-		}
+		set.AddAll(es.syscalls)
 		failOpen = failOpen || es.failOpen
 	}
-	out := exportSet{syscalls: sortedSet(set), failOpen: failOpen}
+	out := exportSet{syscalls: set.Slice(), failOpen: failOpen}
 	if low >= depth {
 		// No cycle stays open above this node — either the subtree is
 		// acyclic or every cycle closed here, so the union is complete
@@ -551,14 +561,10 @@ func (r *ProgramReport) Emits() map[uint64][]uint64 {
 }
 
 func mergeSets(a, b []uint64) []uint64 {
-	set := make(map[uint64]bool, len(a)+len(b))
-	for _, v := range a {
-		set[v] = true
-	}
-	for _, v := range b {
-		set[v] = true
-	}
-	return sortedSet(set)
+	var set linux.ValueSet
+	set.AddAll(a)
+	set.AddAll(b)
+	return set.Slice()
 }
 
 // Program analyzes an executable through the staged pipeline: decode,
@@ -592,10 +598,8 @@ func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 	// Stitch stage: resolve each reachable foreign call against the
 	// dependency closure's interfaces and union the results.
 	stitchStart := time.Now()
-	set := make(map[uint64]bool)
-	for _, n := range rep.Syscalls {
-		set[n] = true
-	}
+	var set linux.ValueSet
+	set.AddAll(rep.Syscalls)
 	out := &ProgramReport{
 		Main:      rep,
 		FailOpen:  rep.FailOpen,
@@ -616,12 +620,10 @@ func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 		es := a.closedExportSetLocked(scope, scopeKey, ifc, exp)
 		out.PerImport[sym] = es.syscalls
 		out.FailOpen = out.FailOpen || es.failOpen
-		for _, n := range es.syscalls {
-			set[n] = true
-		}
+		set.AddAll(es.syscalls)
 	}
 	a.mu.Unlock()
-	out.Syscalls = sortedSet(set)
+	out.Syscalls = set.Slice()
 	out.Timings.Add(pipeline.StageStitch, time.Since(stitchStart))
 	return out, nil
 }
@@ -691,7 +693,7 @@ func (a *Analyzer) Module(bin *elff.Binary, name string, host *elff.Binary) (sys
 	if err != nil {
 		return nil, false, err
 	}
-	set := make(map[uint64]bool)
+	var set linux.ValueSet
 	a.mu.Lock()
 	scope := a.closureScopeLocked(bin.Needed)
 	scopeKey := scopeKeyOf(scope)
@@ -702,9 +704,7 @@ func (a *Analyzer) Module(bin *elff.Binary, name string, host *elff.Binary) (sys
 		}
 		es := a.closedExportSetLocked(scope, scopeKey, ifc, exp)
 		failOpen = failOpen || es.failOpen
-		for _, n := range es.syscalls {
-			set[n] = true
-		}
+		set.AddAll(es.syscalls)
 	}
 	if unkeyed {
 		// A one-shot key can never be hit again: drop the module's own
@@ -716,14 +716,5 @@ func (a *Analyzer) Module(bin *elff.Binary, name string, host *elff.Binary) (sys
 		}
 	}
 	a.mu.Unlock()
-	return sortedSet(set), failOpen, nil
-}
-
-func sortedSet(set map[uint64]bool) []uint64 {
-	out := make([]uint64, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return set.Slice(), failOpen, nil
 }

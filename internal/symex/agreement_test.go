@@ -99,9 +99,9 @@ func TestPropertySymexAgreesWithEmulator(t *testing.T) {
 		if len(sites) < 1 {
 			return false
 		}
-		allowed := make(map[*cfg.Block]bool, len(g.Blocks))
+		allowed := cfg.NewBlockSet(g.NumBlocks())
 		for _, blk := range g.SortedBlocks() {
-			allowed[blk] = true
+			allowed.Add(blk)
 		}
 		start, _ := g.BlockAt(bin.Entry)
 		sym := NewMachine(g, NewBudget())

@@ -1,6 +1,7 @@
 package symex
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -54,6 +55,10 @@ func (b *Budget) AddSteps(n int) { b.steps.Add(int64(n)) }
 // AddFork accrues one path split.
 func (b *Budget) AddFork() { b.forks.Add(1) }
 
+// AddForks accrues n path splits at once (memo hits replay the
+// recorded consumption of the original search).
+func (b *Budget) AddForks(n int) { b.forks.Add(int64(n)) }
+
 // Steps returns the instructions executed so far across all paths.
 func (b *Budget) Steps() int { return int(b.steps.Load()) }
 
@@ -72,19 +77,42 @@ func (b *Budget) Exhausted() bool {
 // Result is the outcome of a directed run.
 type Result struct {
 	// SiteStates holds one state per path that reached the site,
-	// captured immediately before the site's final instruction.
+	// captured immediately before the site's final instruction. When the
+	// machine's pooled states were used (Machine.NewState), hand the
+	// result back via Machine.Release once the states have been read.
 	SiteStates []*State
 	// HitBudget is set when the search stopped early.
 	HitBudget bool
 	// BlocksExecuted counts block executions (Table 3's "BBs explored").
 	BlocksExecuted int
+	// Steps and Forks are this run's own budget consumption (the shared
+	// budget accrues them too). Memoized results replay them on a hit,
+	// so a memo-served analysis drains the budget exactly like the
+	// original computation did.
+	Steps int
+	Forks int
 }
 
-// Machine executes symbolic paths over a recovered CFG.
+// Machine executes symbolic paths over a recovered CFG. Its scratch
+// pools (path states, per-path visit counters) are sync.Pools, so one
+// machine may run searches from many goroutines concurrently.
 type Machine struct {
 	g           *cfg.Graph
 	budget      *Budget
 	importSlots map[uint64]bool
+
+	statePool  sync.Pool
+	visitsPool sync.Pool
+	runPool    sync.Pool
+}
+
+// runScratch is the per-RunToSite working set: the task stack, its
+// parallel visit-buffer stack, and the per-block successor staging
+// slice. Pooled so a directed run allocates nothing but its results.
+type runScratch struct {
+	stack  []task
+	visits [][]uint16
+	succs  []task
 }
 
 // NewMachine builds a machine over g sharing the given budget.
@@ -102,10 +130,77 @@ func NewMachine(g *cfg.Graph, budget *Budget) *Machine {
 // Budget exposes the machine's budget.
 func (m *Machine) Budget() *Budget { return m.budget }
 
+// NewState returns an empty path state drawn from the machine's pool;
+// pair with Release (directly, or via the Result that carried it).
+func (m *Machine) NewState() *State {
+	if s, ok := m.statePool.Get().(*State); ok {
+		return s
+	}
+	return NewState()
+}
+
+// NewEntryState returns a pooled function-entry state (NewEntryState's
+// pooled twin).
+func (m *Machine) NewEntryState(stackParams int) *State {
+	s := m.NewState()
+	s.initEntry(stackParams)
+	return s
+}
+
+// freeState scrubs s and returns it to the pool.
+func (m *Machine) freeState(s *State) {
+	s.reset()
+	m.statePool.Put(s)
+}
+
+// cloneState is State.Clone through the pool.
+func (m *Machine) cloneState(s *State) *State {
+	c := m.NewState()
+	c.Regs = s.Regs
+	for k, v := range s.Stack {
+		c.Stack[k] = v
+	}
+	for k, v := range s.Overlay {
+		c.Overlay[k] = v
+	}
+	return c
+}
+
+// Release returns a run's surviving states to the pool. Call it once
+// the site states have been read; the Values read from them (register
+// contents, parameter taints) stay valid, only the states themselves
+// are recycled.
+func (m *Machine) Release(res *Result) {
+	for i, st := range res.SiteStates {
+		m.freeState(st)
+		res.SiteStates[i] = nil
+	}
+	res.SiteStates = res.SiteStates[:0]
+}
+
+// getVisits returns a zeroed per-path visit-count buffer (indexed by
+// block ID).
+func (m *Machine) getVisits() []uint16 {
+	if v, ok := m.visitsPool.Get().([]uint16); ok && len(v) >= m.g.NumBlocks() {
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	return make([]uint16, m.g.NumBlocks())
+}
+
+func (m *Machine) cloneVisits(v []uint16) []uint16 {
+	c := m.getVisits()
+	copy(c, v)
+	return c
+}
+
+func (m *Machine) freeVisits(v []uint16) { m.visitsPool.Put(v) }
+
 type task struct {
-	blk    *cfg.Block
-	st     *State
-	visits map[uint64]uint16
+	blk *cfg.Block
+	st  *State
 }
 
 // RunToSite performs directed forward symbolic execution from start
@@ -114,29 +209,43 @@ type task struct {
 // ABI-faithful register havoc. The returned states are snapshots taken
 // just before the site block's last instruction (the syscall, or the
 // call into a wrapper).
-func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Block]bool, site *cfg.Block) Result {
+//
+// Each path owns a dense visit-count buffer; buffers are cloned only
+// when a path forks and recycled when it dies, so the per-block cost
+// carries no map traffic at all.
+func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed *cfg.BlockSet, site *cfg.Block) Result {
 	var res Result
 	inSet := func(b *cfg.Block) bool {
-		return b != nil && (b == site || allowed[b])
+		return b != nil && (b == site || allowed.Has(b))
 	}
+	maxVisits := uint16(m.budget.MaxVisits)
 
-	stack := []task{{blk: start, st: init, visits: make(map[uint64]uint16)}}
+	sc, _ := m.runPool.Get().(*runScratch)
+	if sc == nil {
+		sc = &runScratch{}
+	}
+	stack := append(sc.stack[:0], task{blk: start, st: init})
+	visitStack := append(sc.visits[:0], m.getVisits())
 	for len(stack) > 0 {
 		if m.budget.Exhausted() {
 			res.HitBudget = true
+			for i, t := range stack {
+				m.freeState(t.st)
+				m.freeVisits(visitStack[i])
+			}
 			break
 		}
 		t := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		visits := visitStack[len(visitStack)-1]
+		visitStack = visitStack[:len(visitStack)-1]
 
-		if t.visits[t.blk.Addr] >= uint16(m.budget.MaxVisits) {
+		if visits[t.blk.ID] >= maxVisits {
+			m.freeState(t.st)
+			m.freeVisits(visits)
 			continue
 		}
-		visits := make(map[uint64]uint16, len(t.visits)+1)
-		for k, v := range t.visits {
-			visits[k] = v
-		}
-		visits[t.blk.Addr]++
+		visits[t.blk.ID]++
 		res.BlocksExecuted++
 
 		st := t.st
@@ -149,16 +258,18 @@ func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Bloc
 			m.step(st, in)
 		}
 		m.budget.AddSteps(n)
+		res.Steps += n
 
 		if t.blk == site {
 			res.SiteStates = append(res.SiteStates, st)
+			m.freeVisits(visits)
 			continue
 		}
 
 		// Dispatch on the final instruction.
-		var succs []task
+		succs := sc.succs[:0]
 		push := func(b *cfg.Block, s *State) {
-			succs = append(succs, task{blk: b, st: s, visits: visits})
+			succs = append(succs, task{blk: b, st: s})
 		}
 		last := t.blk.Last()
 		switch last.Op {
@@ -172,7 +283,8 @@ func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Bloc
 			fall := succOf(t.blk, cfg.EdgeFall)
 			if inSet(to) && inSet(fall) {
 				m.budget.AddFork()
-				push(fall, st.Clone())
+				res.Forks++
+				push(fall, m.cloneState(st))
 				push(to, st)
 			} else if inSet(to) {
 				push(to, st)
@@ -219,9 +331,10 @@ func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Bloc
 				if e.Kind != cfg.EdgeIndirectCall || !inSet(e.To) {
 					continue
 				}
-				s2 := st.Clone()
+				s2 := m.cloneState(st)
 				m.pushRet(s2, last.Next())
 				m.budget.AddFork()
+				res.Forks++
 				push(e.To, s2)
 			}
 			if inSet(fall) {
@@ -251,7 +364,8 @@ func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Bloc
 					continue
 				}
 				m.budget.AddFork()
-				push(e.To, st.Clone())
+				res.Forks++
+				push(e.To, m.cloneState(st))
 			}
 
 		case x86.OpRet:
@@ -276,8 +390,36 @@ func (m *Machine) RunToSite(start *cfg.Block, init *State, allowed map[*cfg.Bloc
 				push(fall, st)
 			}
 		}
-		stack = append(stack, succs...)
+
+		// The path's own buffers move to the first successor; further
+		// successors (forks) get copies; a dead end recycles them. st
+		// flows into at most one successor by construction (forks carry
+		// clones), so it is freed exactly when no successor took it.
+		sc.succs = succs[:0]
+		if len(succs) == 0 {
+			m.freeState(st)
+			m.freeVisits(visits)
+			continue
+		}
+		stUsed := false
+		for i := range succs {
+			stack = append(stack, succs[i])
+			if i == 0 {
+				visitStack = append(visitStack, visits)
+			} else {
+				visitStack = append(visitStack, m.cloneVisits(visits))
+			}
+			if succs[i].st == st {
+				stUsed = true
+			}
+		}
+		if !stUsed {
+			m.freeState(st)
+		}
 	}
+	sc.stack = stack[:0]
+	sc.visits = visitStack[:0]
+	m.runPool.Put(sc)
 	return res
 }
 

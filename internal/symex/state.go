@@ -30,6 +30,14 @@ func NewState() *State {
 // parameters — the configuration used by wrapper detection's phase 2.
 func NewEntryState(stackParams int) *State {
 	s := NewState()
+	s.initEntry(stackParams)
+	return s
+}
+
+// initEntry applies the function-entry parameter tagging to an
+// otherwise-fresh state (shared by NewEntryState and the machine's
+// pooled variant).
+func (s *State) initEntry(stackParams int) {
 	for _, r := range x86.ParamRegs {
 		s.Regs[r] = Param(ParamRef{Reg: r})
 	}
@@ -37,7 +45,15 @@ func NewEntryState(stackParams int) *State {
 		off := int64(8 * (i + 1)) // above the return address
 		s.Stack[off] = Param(ParamRef{Stack: true, Off: off})
 	}
-	return s
+}
+
+// reset scrubs the state back to the NewState shape, keeping the map
+// capacity for pooled reuse.
+func (s *State) reset() {
+	s.Regs = [x86.NumGPR]Value{}
+	s.Regs[x86.RSP] = StackPtr(0)
+	clear(s.Stack)
+	clear(s.Overlay)
 }
 
 // Clone deep-copies the state.

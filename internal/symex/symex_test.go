@@ -21,13 +21,13 @@ func recoverGraph(t *testing.T, fn func(b *asm.Builder)) (*cfg.Graph, map[string
 	return g, syms
 }
 
-// allBlocks returns the full block set as an allowed map.
-func allBlocks(g *cfg.Graph) map[*cfg.Block]bool {
-	m := make(map[*cfg.Block]bool, len(g.Blocks))
+// allBlocks returns the full block set as an allowed set.
+func allBlocks(g *cfg.Graph) *cfg.BlockSet {
+	s := cfg.NewBlockSet(g.NumBlocks())
 	for _, b := range g.SortedBlocks() {
-		m[b] = true
+		s.Add(b)
 	}
-	return m
+	return s
 }
 
 // raxAtSite runs from start to the site and collects rax values.
@@ -177,9 +177,13 @@ func TestSkipCallHavoc(t *testing.T) {
 	start, _ := g.BlockAt(syms["_start"])
 	// Direct the search so the callee is OUTSIDE the allowed set: the
 	// call must be skipped, not followed.
-	allowed := allBlocks(g)
 	callee, _ := g.BlockAt(syms["memcpyish"])
-	delete(allowed, callee)
+	allowed := cfg.NewBlockSet(g.NumBlocks())
+	for _, b := range g.SortedBlocks() {
+		if b != callee {
+			allowed.Add(b)
+		}
+	}
 
 	m := NewMachine(g, NewBudget())
 	res := m.RunToSite(start, NewState(), allowed, site)

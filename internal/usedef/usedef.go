@@ -9,6 +9,7 @@ package usedef
 
 import (
 	"sort"
+	"sync"
 
 	"bside/internal/cfg"
 	"bside/internal/x86"
@@ -26,34 +27,63 @@ type Request struct {
 	Reg     x86.Reg
 }
 
-type visitKey struct {
-	addr uint64
-	reg  x86.Reg
+// bitset is a growable index bitset: the function-membership and
+// (block, register) visited sets are keyed by dense block IDs, so one
+// pooled resolver serves any number of queries without map churn.
+type bitset struct{ words []uint64 }
+
+func (b *bitset) add(id int) bool {
+	if w := id/64 + 1; w > len(b.words) {
+		words := make([]uint64, w)
+		copy(words, b.words)
+		b.words = words
+	}
+	w, bit := id/64, uint64(1)<<(id%64)
+	if b.words[w]&bit != 0 {
+		return false
+	}
+	b.words[w] |= bit
+	return true
+}
+
+func (b *bitset) has(id int) bool {
+	w := id / 64
+	return w < len(b.words) && b.words[w]&(1<<(id%64)) != 0
+}
+
+func (b *bitset) reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
 }
 
 type resolver struct {
 	fn      *cfg.Func
-	inFn    map[*cfg.Block]bool
-	visited map[visitKey]bool
+	inFn    bitset // block IDs belonging to fn
+	visited bitset // block ID × register pairs already joined
 	budget  int
 }
+
+var resolverPool = sync.Pool{New: func() any { return new(resolver) }}
 
 // Resolve walks use-define chains backward and returns the sorted set
 // of constants Reg may hold at the requested point. ok is false when
 // any chain escapes the supported domain (memory operands, partial
 // writes, clobbering calls, values flowing in from callers).
 func Resolve(req Request) (vals []uint64, ok bool) {
-	r := &resolver{
-		fn:      req.Fn,
-		inFn:    make(map[*cfg.Block]bool, len(req.Fn.Blocks)),
-		visited: make(map[visitKey]bool),
-		budget:  maxVisits,
-	}
+	r := resolverPool.Get().(*resolver)
+	r.fn = req.Fn
+	r.inFn.reset()
+	r.visited.reset()
+	r.budget = maxVisits
 	for _, b := range req.Fn.Blocks {
-		r.inFn[b] = true
+		r.inFn.add(b.ID)
 	}
 	set := make(map[uint64]bool)
-	if !r.resolveAt(req.Block, req.InsnIdx, req.Reg, set) {
+	resolved := r.resolveAt(req.Block, req.InsnIdx, req.Reg, set)
+	r.fn = nil
+	resolverPool.Put(r)
+	if !resolved {
 		return nil, false
 	}
 	vals = make([]uint64, 0, len(set))
@@ -145,11 +175,9 @@ func (r *resolver) resolveAt(blk *cfg.Block, idx int, reg x86.Reg, out map[uint6
 		// detection's phase 1 looks for.
 		return false
 	}
-	key := visitKey{addr: blk.Addr, reg: reg}
-	if r.visited[key] {
+	if !r.visited.add(blk.ID*int(x86.NumGPR) + int(reg)) {
 		return true // loop back-edge: values join from elsewhere
 	}
-	r.visited[key] = true
 
 	any := false
 	for _, e := range blk.Preds {
@@ -158,7 +186,7 @@ func (r *resolver) resolveAt(blk *cfg.Block, idx int, reg x86.Reg, out map[uint6
 		default:
 			continue
 		}
-		if !r.inFn[e.From] {
+		if !r.inFn.has(e.From.ID) {
 			continue
 		}
 		any = true
