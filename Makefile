@@ -40,14 +40,15 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # Benchmark comparison artifact: the cold/warm cache, serial/parallel
-# batch, and intra-binary large-binary benchmarks rendered (with
-# -benchmem, so the allocation trajectory is captured too) as
-# BENCH_<sha>.json — the per-PR performance trajectory CI uploads.
-# The bench run lands in a temp file first: a pipe would mask bench
-# failures (sh reports the last pipe element), and the in-bench
-# worker-count drift guard must be able to fail this target.
+# batch, the intra-binary large-binary benchmarks, and the frontend
+# (CFG recovery) benchmark rendered (with -benchmem, so the allocation
+# trajectory is captured too) as BENCH_<sha>.json — the per-PR
+# performance trajectory CI uploads. The bench run lands in a temp
+# file first: a pipe would mask bench failures (sh reports the last
+# pipe element), and the in-bench worker-count drift guard must be
+# able to fail this target.
 bench-compare:
-	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary' \
+	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary|RecoverLargeBinary' \
 		-benchtime=3x -benchmem -count=1 . > bench-compare.tmp
 	$(GO) run ./cmd/benchjson -commit $(SHA) < bench-compare.tmp > BENCH_$(SHA).json
 	@rm -f bench-compare.tmp
@@ -57,9 +58,12 @@ bench-compare:
 # Only allocs/op is gated — it is deterministic across machines, while
 # ns/op depends on the runner (the baseline was recorded on a different
 # box than CI's); time still lands in the artifact for human trending.
-# >10% more allocations on any shared benchmark fails the build.
+# >10% more allocations on any shared benchmark fails the build, and
+# -require-baseline fails when a gated benchmark is missing from the
+# committed baseline (a PR adding one must refresh BENCH_seed.json in
+# the same change).
 bench-check: bench-compare
-	$(GO) run ./cmd/benchjson -compare -metrics allocs/op BENCH_seed.json BENCH_$(SHA).json
+	$(GO) run ./cmd/benchjson -compare -metrics allocs/op -require-baseline BENCH_seed.json BENCH_$(SHA).json
 
 # CPU+heap profiles of the dominant workload (the large-binary
 # identification pass) plus the pprof one-liners to read them.

@@ -330,13 +330,7 @@ func BenchmarkAnalyzeAllParallel(b *testing.B) {
 // the intra-binary worker pool has real work to spread.
 func writeLargeBinary(b *testing.B) string {
 	b.Helper()
-	bin, err := corpus.BuildProgram(corpus.Profile{
-		Name: "large", Kind: elff.KindStatic,
-		HotDirect: 16, HotWrapper: 6, HotStack: 3, Handlers: 4,
-		HotDeep: 40, DeepBlocks: 48,
-		ColdDirect: 12, ColdWrapper: 4, StackedTruth: 2,
-		Filler: 40, Seed: 77,
-	})
+	bin, err := corpus.BuildProgram(corpus.LargeBinaryProfile())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -374,6 +368,29 @@ func BenchmarkAnalyzeLargeBinary(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkRecoverLargeBinary isolates the frontend on the
+// large-binary workload: disassembly into the decode arena plus the
+// incremental active-address-taken fixpoint and the slab-built graph.
+// This is the stage that dominates once identification is memoized, so
+// its allocs/op are gated by `make bench-check` alongside the
+// whole-analysis benchmarks.
+func BenchmarkRecoverLargeBinary(b *testing.B) {
+	bin, err := corpus.BuildProgram(corpus.LargeBinaryProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := cfg.Recover(bin, cfg.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumBlocks() == 0 {
+			b.Fatal("empty graph")
+		}
 	}
 }
 

@@ -49,6 +49,7 @@ package bside
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -114,6 +115,13 @@ type Options struct {
 	// memoization-invariance axis enforces that. The switch exists for
 	// benchmarking the un-memoized substrate and for the oracle itself.
 	DisableFuncMemo bool
+	// DisableMemoryTier turns off the persistent cache's in-process
+	// memory tier, forcing every cache load to the disk envelopes. The
+	// tier only ever holds disk-validated, content-addressed payloads,
+	// so results are byte-identical either way (the fuzzer's
+	// frontend-invariance axis enforces that); the switch exists for
+	// benchmarking the durable tier and for the oracle itself.
+	DisableMemoryTier bool
 }
 
 // Analyzer analyzes executables, caching shared-library interfaces
@@ -145,6 +153,9 @@ func NewAnalyzer(opts Options) *Analyzer {
 	a := &Analyzer{inner: inner, modules: opts.Modules}
 	if opts.CacheDir != "" {
 		a.cache, a.cacheErr = cache.Open(opts.CacheDir)
+		if a.cache != nil && opts.DisableMemoryTier {
+			a.cache.DisableMemoryTier()
+		}
 		inner.Cache = a.cache
 	}
 	return a
@@ -159,6 +170,11 @@ type CacheStats struct {
 	Hits   uint64
 	Misses uint64
 	Stores uint64
+	// MemoryHits is the subset of Hits served from the in-process
+	// memory tier, without a file read or an envelope decode.
+	MemoryHits uint64
+	// StoredBytes counts envelope bytes written to the disk tier.
+	StoredBytes uint64
 	// FuncMemoHits counts per-function summaries served without
 	// re-analysis (from memory or the funcsum store partition).
 	FuncMemoHits uint64
@@ -174,6 +190,7 @@ func (a *Analyzer) CacheStats() CacheStats {
 	if a.cache != nil {
 		st := a.cache.Stats()
 		out.Hits, out.Misses, out.Stores = st.Hits, st.Misses, st.Stores
+		out.MemoryHits, out.StoredBytes = st.MemoryHits, st.StoredBytes
 	}
 	ms := ident.ProcessMemo().Stats()
 	out.FuncMemoHits, out.FuncMemoMisses, out.FuncMemoEntries = ms.Hits, ms.Misses, ms.Entries
@@ -242,11 +259,14 @@ type Analysis struct {
 
 // AnalyzeFile analyzes the ELF executable at path.
 func (a *Analyzer) AnalyzeFile(path string) (*Analysis, error) {
-	bin, err := elff.ReadFile(path)
-	if err != nil {
-		return nil, err
+	if a.cacheErr != nil {
+		return nil, a.cacheErr
 	}
-	res, err := a.analyze(bin)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("elff: %w", err)
+	}
+	res, err := a.analyzeData(data, path)
 	if err != nil {
 		return nil, err
 	}
@@ -256,11 +276,48 @@ func (a *Analyzer) AnalyzeFile(path string) (*Analysis, error) {
 
 // AnalyzeBytes analyzes an in-memory ELF image.
 func (a *Analyzer) AnalyzeBytes(data []byte) (*Analysis, error) {
-	bin, err := elff.Read(data)
+	if a.cacheErr != nil {
+		return nil, a.cacheErr
+	}
+	return a.analyzeData(data, "")
+}
+
+// analyzeData is the shared front of the byte-level entry points. With
+// a cache configured it first probes the store using only the image's
+// cheap content identity (hash + DT_NEEDED); a warm fleet probe
+// therefore skips the full ELF parse entirely, not just the analysis.
+// Only on a miss — or when the identity parse cannot make sense of the
+// image — is the binary fully parsed and analyzed.
+func (a *Analyzer) analyzeData(data []byte, path string) (*Analysis, error) {
+	probed := false
+	hash := ""
+	if a.cache != nil && len(a.modules) == 0 {
+		if id, err := elff.ReadIdentity(data); err == nil {
+			probed = true
+			hash = id.Hash
+			if sum, ok := a.inner.CachedSummary(id.Hash, id.Needed); ok {
+				return &Analysis{
+					Syscalls: sum.Syscalls,
+					FailOpen: sum.FailOpen,
+					Wrappers: sum.Wrappers,
+					Imports:  sum.Imports,
+					Cached:   true,
+				}, nil
+			}
+		}
+	}
+	// The probe already hashed the image; the fallthrough parse reuses
+	// that work (dependency fingerprints are memoized per analyzer, so
+	// the miss path recomputes nothing expensive either).
+	bin, err := elff.ReadPrehashed(data, hash)
 	if err != nil {
+		if path != "" {
+			return nil, fmt.Errorf("elff: %s: %w", path, err)
+		}
 		return nil, err
 	}
-	return a.analyze(bin)
+	bin.Path = path
+	return a.analyze(bin, probed)
 }
 
 // BatchOptions tunes AnalyzeAll.
@@ -324,7 +381,10 @@ func (a *Analyzer) AnalyzeAll(paths []string, opts BatchOptions) ([]*Analysis, e
 	return results, nil
 }
 
-func (a *Analyzer) analyze(bin *elff.Binary) (*Analysis, error) {
+// analyze runs the cache-aware analysis of a parsed binary. probed
+// says the caller already probed the store for this image (and
+// missed), so the cache path goes straight to compute-and-persist.
+func (a *Analyzer) analyze(bin *elff.Binary, probed bool) (*Analysis, error) {
 	if a.cacheErr != nil {
 		return nil, a.cacheErr
 	}
@@ -332,7 +392,16 @@ func (a *Analyzer) analyze(bin *elff.Binary) (*Analysis, error) {
 	if a.cache != nil && len(a.modules) == 0 {
 		// Cache-aware path: a hit skips all decoding; a miss computes,
 		// persists the summary, and keeps the full report.
-		sum, rep, err := a.inner.ProgramSummary(bin)
+		var (
+			sum *shared.Summary
+			rep *shared.ProgramReport
+			err error
+		)
+		if probed {
+			sum, rep, err = a.inner.ComputeSummary(bin)
+		} else {
+			sum, rep, err = a.inner.ProgramSummary(bin)
+		}
 		if err != nil {
 			return nil, err
 		}

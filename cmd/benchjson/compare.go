@@ -44,11 +44,18 @@ func normalizeName(name string) string {
 
 // Compare diffs two documents benchmark by benchmark and reports
 // whether any gated metric regressed by more than threshold percent.
-// Benchmarks present in only one document are reported but never fail
-// the gate (the suite is allowed to grow and shrink); a regression is
+// Benchmarks that vanished from the new run are reported but never
+// fail the gate (the suite is allowed to shrink); a regression is
 // strictly a worse number for the same name and metric. Lower is
 // better for every gated unit.
-func Compare(w io.Writer, oldPath, newPath string, threshold float64, metrics []string) (regressed bool, err error) {
+//
+// requireBaseline flags suite growth: a benchmark present in the new
+// run but missing from the baseline fails the gate, so a PR that adds
+// a gated benchmark must refresh the committed baseline in the same
+// change — otherwise the new benchmark would ride ungated until
+// someone remembered. Without the flag, growth is reported but
+// tolerated.
+func Compare(w io.Writer, oldPath, newPath string, threshold float64, metrics []string, requireBaseline bool) (regressed bool, err error) {
 	oldDoc, err := loadDoc(oldPath)
 	if err != nil {
 		return false, err
@@ -80,7 +87,12 @@ func Compare(w io.Writer, oldPath, newPath string, threshold float64, metrics []
 		name := normalizeName(nb.Name)
 		ob, ok := oldBy[name]
 		if !ok {
-			fmt.Fprintf(w, "new  %-48s (no baseline)\n", name)
+			if requireBaseline {
+				regressed = true
+				fmt.Fprintf(w, "FAIL %-48s (no baseline entry — refresh the committed baseline)\n", name)
+			} else {
+				fmt.Fprintf(w, "new  %-48s (no baseline)\n", name)
+			}
 			continue
 		}
 		delete(oldBy, name)
@@ -123,7 +135,7 @@ func Compare(w io.Writer, oldPath, newPath string, threshold float64, metrics []
 		fmt.Fprintf(w, "gone %-48s (not in new run)\n", name)
 	}
 	if regressed {
-		fmt.Fprintf(w, "REGRESSION: at least one metric worsened beyond %.1f%%\n", threshold)
+		fmt.Fprintf(w, "REGRESSION: at least one gated check failed (threshold %.1f%%)\n", threshold)
 	}
 	return regressed, nil
 }

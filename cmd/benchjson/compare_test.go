@@ -31,7 +31,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 		{Name: "BenchmarkB-4", NsPerOp: 700, AllocsPerOp: 50},   // +40%: regression
 	}})
 	var out strings.Builder
-	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"ns/op", "allocs/op"})
+	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"ns/op", "allocs/op"}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestCompareImprovementAndMetricFilter(t *testing.T) {
 		{Name: "BenchmarkA-8", NsPerOp: 2000, AllocsPerOp: 50},
 	}})
 	var out strings.Builder
-	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"allocs/op"})
+	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"allocs/op"}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestCompareToleratesSuiteChanges(t *testing.T) {
 		{Name: "BenchmarkAdded-8", NsPerOp: 10},
 	}})
 	var out strings.Builder
-	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"ns/op"})
+	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"ns/op"}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestCompareZeroBaseline(t *testing.T) {
 		{Name: "BenchmarkOther-8", NsPerOp: 10, AllocsPerOp: 7},
 	}})
 	var out strings.Builder
-	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"allocs/op"})
+	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"allocs/op"}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestCompareSkipsUnrecordedUnit(t *testing.T) {
 		{Name: "BenchmarkA-8", NsPerOp: 10, AllocsPerOp: 123},
 	}})
 	var out strings.Builder
-	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"allocs/op"})
+	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"allocs/op"}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,5 +143,36 @@ func TestNormalizeName(t *testing.T) {
 		if got := normalizeName(in); got != want {
 			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestCompareRequireBaseline(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkKept-8", NsPerOp: 10, AllocsPerOp: 5},
+	}})
+	newPath := writeDoc(t, "new.json", Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkKept-8", NsPerOp: 10, AllocsPerOp: 5},
+		{Name: "BenchmarkAdded-8", NsPerOp: 10, AllocsPerOp: 5},
+	}})
+	// Tolerant mode: growth is reported, not failed.
+	var out strings.Builder
+	regressed, err := Compare(&out, oldPath, newPath, 10, []string{"allocs/op"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("tolerant mode must not fail on growth:\n%s", out.String())
+	}
+	// Strict mode: a benchmark without a baseline entry fails the gate.
+	out.Reset()
+	regressed, err = Compare(&out, oldPath, newPath, 10, []string{"allocs/op"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed || !strings.Contains(out.String(), "FAIL BenchmarkAdded") {
+		t.Fatalf("-require-baseline must flag the unbaselined benchmark:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "FAIL BenchmarkKept") {
+		t.Fatalf("baselined benchmarks must not fail:\n%s", out.String())
 	}
 }

@@ -78,6 +78,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two documents (old.json new.json) instead of parsing")
 	threshold := flag.Float64("threshold", 10, "compare: allowed regression in percent before failing")
 	metrics := flag.String("metrics", "ns/op,allocs/op", "compare: comma-separated metrics to gate on")
+	requireBaseline := flag.Bool("require-baseline", false, "compare: fail when a new-run benchmark has no baseline entry (forces baseline refreshes to land with the benchmark)")
 	flag.Parse()
 
 	if *compare {
@@ -85,7 +86,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		regressed, err := Compare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, strings.Split(*metrics, ","))
+		regressed, err := Compare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, strings.Split(*metrics, ","), *requireBaseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)

@@ -1,29 +1,48 @@
-// Package cache implements the content-addressed on-disk store behind
-// batch analysis: the once-per-library artifacts of the paper's §4.5
+// Package cache implements the content-addressed store behind batch
+// analysis: the once-per-library artifacts of the paper's §4.5
 // (shared interfaces) and whole-program identification results are
 // persisted across processes, keyed by the SHA-256 of the ELF image
 // they were derived from, so a fleet-wide analysis run only ever pays
 // for each distinct binary once.
 //
-// Layout on disk:
+// The store is two-tiered. The durable tier is a directory of JSON
+// envelopes:
 //
 //	<dir>/<kind>/<key[:2]>/<key>.json
 //
-// where kind partitions entry types ("interface", "program") and key is
-// the lowercase hex SHA-256 of the source image (the store treats keys
-// as opaque path-safe strings; elff.Read is the one place the hash is
-// computed). Every file is a small JSON envelope:
+// where kind partitions entry types ("interface", "program",
+// "funcsum") and key is the lowercase hex SHA-256 of the source image
+// (the store treats keys as opaque path-safe strings; elff.Read is the
+// one place the hash is computed). Every file is a compact JSON
+// envelope:
 //
-//	{"version": 1, "sha256": "<key>", "conf": "<fingerprint>", "payload": {...}}
+//	{"version":2,"sha256":"<key>","conf":"<fingerprint>","payload":{...}}
 //
-// The envelope makes the store self-validating: a version bump, a
-// sha256 field that disagrees with the file's name (a moved or
-// hand-edited entry), a configuration fingerprint mismatch (different
-// analysis settings, or a dependency whose image hash changed), or any
-// decode error is treated as a miss and the entry is re-computed —
-// corruption is never fatal. Writes go through a temp file plus rename
-// so concurrent writers of the same entry cannot tear each other's
-// files.
+// Version 1 envelopes — the pretty-printed format of earlier releases
+// — are still readable; only the writer moved to the compact codec, so
+// an upgraded fleet keeps its warm cache. The envelope makes the store
+// self-validating: an unknown version, a sha256 field that disagrees
+// with the file's name (a moved or hand-edited entry), a configuration
+// fingerprint mismatch (different analysis settings, or a dependency
+// whose image hash changed), or any decode error is treated as a miss
+// and the entry is re-computed — corruption is never fatal. Writes go
+// through a temp file plus rename so concurrent writers of the same
+// entry cannot tear each other's files.
+//
+// In front of the disk sits a process-wide memory tier: a payload
+// validated once from disk is kept in memory (keyed by directory, kind
+// and key), so repeated loads of the same entry — a fleet re-probing a
+// warm cache, analyzers recreated per batch — skip the file read and
+// the envelope decode; one stat per hit confirms the durable entry
+// still exists, so deleting a cache directory makes the process
+// recompute and repopulate rather than serve ghosts. The tier is
+// read-through: only disk-validated payloads enter it, entries are
+// content-addressed (the same key and fingerprint always name the same
+// payload), and a Store through any handle drops the stale copy, so it
+// can never serve a result the durable tier would not.
+// DisableMemoryTier opts a handle out — the fuzzer's
+// frontend-invariance oracle holds memory-tier-on and -off analyses to
+// byte-identical results.
 package cache
 
 import (
@@ -32,32 +51,66 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// formatVersion invalidates every existing entry when the envelope or
-// payload schemas change incompatibly.
-const formatVersion = 1
+// formatVersion is the envelope version the writer produces. Version
+// legacyVersion is still accepted by Load so existing caches survive
+// the compact-codec migration; anything else is a miss.
+const (
+	formatVersion = 2
+	legacyVersion = 1
+)
 
-// Store is a content-addressed cache directory. All methods are safe
-// for concurrent use.
+// maxMemEntries bounds the process-wide memory tier. Entries are
+// content-addressed, so refusing to add one never changes results —
+// only the speed of the next identical load.
+const maxMemEntries = 1 << 16
+
+// memTier is the process-wide memory tier: full entry key
+// (dir\x00kind\x00key) -> memEntry. It is shared by every Store handle
+// so a per-batch analyzer recreated over the same directory keeps its
+// warm entries.
+var (
+	memTier     sync.Map
+	memTierSize atomic.Int64
+)
+
+type memEntry struct {
+	conf    string
+	payload []byte
+}
+
+// Store is a content-addressed cache directory plus its slice of the
+// process-wide memory tier. All methods are safe for concurrent use.
 type Store struct {
-	dir string
+	dir       string
+	memPrefix string
+	noMem     atomic.Bool
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	stores atomic.Uint64
+	hits        atomic.Uint64
+	memoryHits  atomic.Uint64
+	misses      atomic.Uint64
+	stores      atomic.Uint64
+	storedBytes atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of cache traffic.
 type Stats struct {
-	// Hits counts Load calls satisfied from disk.
+	// Hits counts Load calls satisfied by either tier.
 	Hits uint64
+	// MemoryHits counts the subset of Hits served from the in-process
+	// memory tier without touching the disk.
+	MemoryHits uint64
 	// Misses counts Load calls that found no usable entry.
 	Misses uint64
 	// Stores counts entries written.
 	Stores uint64
+	// StoredBytes counts the envelope bytes written to disk — the
+	// footprint knob the compact codec shrinks.
+	StoredBytes uint64
 }
 
 // Open returns a store rooted at dir, creating it if needed.
@@ -68,15 +121,31 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, memPrefix: filepath.Clean(dir) + "\x00"}, nil
 }
 
 // Dir exposes the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Stats returns a snapshot of the hit/miss/store counters.
+// DisableMemoryTier makes this handle bypass the process-wide memory
+// tier: every Load goes to disk and nothing is promoted. Results are
+// byte-identical either way (the fuzzer's invariance oracle enforces
+// it); the switch exists for benchmarking the durable tier and for the
+// oracle itself. Returns the store for chaining.
+func (s *Store) DisableMemoryTier() *Store {
+	s.noMem.Store(true)
+	return s
+}
+
+// Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Stores: s.stores.Load()}
+	return Stats{
+		Hits:        s.hits.Load(),
+		MemoryHits:  s.memoryHits.Load(),
+		Misses:      s.misses.Load(),
+		Stores:      s.stores.Load(),
+		StoredBytes: s.storedBytes.Load(),
+	}
 }
 
 type envelope struct {
@@ -90,17 +159,47 @@ func (s *Store) path(kind, key string) string {
 	return filepath.Join(s.dir, kind, key[:2], key+".json")
 }
 
+func (s *Store) memKey(kind, key string) string {
+	return s.memPrefix + kind + "\x00" + key
+}
+
 // Load decodes the entry for (kind, key) into out and reports whether a
 // usable entry existed. conf must match the fingerprint the entry was
 // stored under; any mismatch, decode failure, or version skew is a miss.
-// An entry whose recorded sha256 disagrees with key is actively busted
-// (removed) so it cannot shadow a future store.
+// A memory-tier hit skips the file read and envelope validation — the
+// payload was validated when it was promoted.
 func (s *Store) Load(kind, key, conf string, out any) bool {
 	if len(key) < 2 {
 		s.misses.Add(1)
 		return false
 	}
+	useMem := !s.noMem.Load()
 	path := s.path(kind, key)
+	mk := ""
+	if useMem {
+		mk = s.memKey(kind, key)
+		if v, ok := memTier.Load(mk); ok {
+			ent := v.(memEntry)
+			if ent.conf == conf {
+				// One stat confirms the durable entry still backs the
+				// memory copy — a deleted cache directory must make
+				// this process recompute and repopulate the disk, not
+				// serve ghosts — while still skipping the file read
+				// and the envelope decode.
+				if _, err := os.Stat(path); err == nil {
+					if json.Unmarshal(ent.payload, out) == nil {
+						s.memoryHits.Add(1)
+						s.hits.Add(1)
+						return true
+					}
+				} else if _, loaded := memTier.LoadAndDelete(mk); loaded {
+					memTierSize.Add(-1)
+				}
+			}
+			// A fingerprint mismatch falls through to disk: the file
+			// may hold a fresher entry stored under the new conf.
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
@@ -120,7 +219,7 @@ func (s *Store) Load(kind, key, conf string, out any) bool {
 		s.misses.Add(1)
 		return false
 	}
-	if env.Version != formatVersion || env.Conf != conf {
+	if (env.Version != formatVersion && env.Version != legacyVersion) || env.Conf != conf {
 		s.misses.Add(1)
 		return false
 	}
@@ -128,8 +227,22 @@ func (s *Store) Load(kind, key, conf string, out any) bool {
 		s.misses.Add(1)
 		return false
 	}
+	if useMem {
+		s.promote(mk, conf, env.Payload)
+	}
 	s.hits.Add(1)
 	return true
+}
+
+// promote installs a disk-validated payload into the memory tier.
+func (s *Store) promote(mk, conf string, payload json.RawMessage) {
+	if _, ok := memTier.Load(mk); !ok && memTierSize.Load() >= maxMemEntries {
+		return
+	}
+	ent := memEntry{conf: conf, payload: append([]byte(nil), payload...)}
+	if _, loaded := memTier.Swap(mk, ent); !loaded {
+		memTierSize.Add(1)
+	}
 }
 
 // Store writes the entry for (kind, key), replacing any previous one.
@@ -141,12 +254,12 @@ func (s *Store) Store(kind, key, conf string, payload any) error {
 	if err != nil {
 		return fmt.Errorf("cache: marshal %s/%s: %w", kind, key, err)
 	}
-	data, err := json.MarshalIndent(envelope{
+	data, err := json.Marshal(envelope{
 		Version: formatVersion,
 		SHA256:  key,
 		Conf:    conf,
 		Payload: raw,
-	}, "", "  ")
+	})
 	if err != nil {
 		return fmt.Errorf("cache: marshal envelope: %w", err)
 	}
@@ -172,7 +285,13 @@ func (s *Store) Store(kind, key, conf string, payload any) error {
 		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("cache: %w", err)
 	}
+	// Drop any memory copy: the tier is read-through, so the next Load
+	// re-validates from disk and promotes the fresh payload.
+	if _, loaded := memTier.LoadAndDelete(s.memKey(kind, key)); loaded {
+		memTierSize.Add(-1)
+	}
 	s.stores.Add(1)
+	s.storedBytes.Add(uint64(len(data)))
 	return nil
 }
 

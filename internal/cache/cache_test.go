@@ -274,3 +274,171 @@ func TestStaleTempFilesSwept(t *testing.T) {
 		t.Fatal("entry unusable after sweep")
 	}
 }
+
+// --- two-tier store: compact codec, legacy reads, memory tier ----------
+
+func TestCompactEnvelopeOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-compact")
+	if err := s.Store("interface", key, "conf", payload{Name: "libc.so", Syscalls: []uint64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "interface", key[:2], key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(string(data), "\n ") {
+		t.Fatalf("envelope not compact: %q", data)
+	}
+	if !strings.Contains(string(data), `"version":2`) {
+		t.Fatalf("envelope not version-bumped: %q", data)
+	}
+	if st := s.Stats(); st.StoredBytes != uint64(len(data)) {
+		t.Fatalf("StoredBytes = %d, file is %d bytes", st.StoredBytes, len(data))
+	}
+}
+
+func TestLegacyEnvelopeStillReadable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-legacy")
+	want := payload{Name: "old-format", Syscalls: []uint64{0, 60}}
+	raw, _ := json.Marshal(want)
+	env, _ := json.MarshalIndent(envelope{Version: legacyVersion, SHA256: key, Conf: "conf", Payload: raw}, "", "  ")
+	path := filepath.Join(dir, "interface", key[:2], key+".json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if !s.Load("interface", key, "conf", &out) {
+		t.Fatal("legacy pretty-printed v1 envelope must stay readable")
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("legacy round trip: %+v vs %+v", out, want)
+	}
+}
+
+func TestMemoryTierServesPromotedEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-mem")
+	want := payload{Name: "hot", Syscalls: []uint64{1}}
+	if err := s.Store("interface", key, "conf", want); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if !s.Load("interface", key, "conf", &out) {
+		t.Fatal("first load must hit disk")
+	}
+	// The first load promoted the payload: the second is a memory hit
+	// (the file only gets a stat, never a read — corrupting it in
+	// place must not matter while it exists).
+	path := filepath.Join(dir, "interface", key[:2], key+".json")
+	if err := os.WriteFile(path, []byte("unread garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = payload{}
+	if !s.Load("interface", key, "conf", &out) || !reflect.DeepEqual(out, want) {
+		t.Fatalf("memory tier did not serve: %+v", out)
+	}
+	st := s.Stats()
+	if st.MemoryHits != 1 || st.Hits != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// A different fingerprint must not be served from memory.
+	if s.Load("interface", key, "other-conf", &out) {
+		t.Fatal("memory tier served across configurations")
+	}
+
+	// The tier is process-wide: a fresh handle on the same directory
+	// sees the promoted entry.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = payload{}
+	if !s2.Load("interface", key, "conf", &out) || !reflect.DeepEqual(out, want) {
+		t.Fatalf("fresh handle missed the shared memory tier: %+v", out)
+	}
+
+	// A handle with the tier disabled reads the (now corrupt) disk.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.DisableMemoryTier()
+	if s3.Load("interface", key, "conf", &out) {
+		t.Fatal("DisableMemoryTier handle must not see memory entries")
+	}
+}
+
+func TestMemoryTierDroppedWithDurableEntry(t *testing.T) {
+	// Deleting the durable entry must make the process recompute and
+	// repopulate the disk, not serve the memory copy forever: the
+	// store-through-any-path protocol depends on misses being real.
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-mem-drop")
+	if err := s.Store("interface", key, "conf", payload{Name: "hot"}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if !s.Load("interface", key, "conf", &out) {
+		t.Fatal("load failed")
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if s.Load("interface", key, "conf", &out) {
+		t.Fatal("memory tier served an entry whose directory is gone")
+	}
+	// The miss dropped the memory copy; a re-store round-trips again.
+	if err := s.Store("interface", key, "conf", payload{Name: "hot2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Load("interface", key, "conf", &out) || out.Name != "hot2" {
+		t.Fatalf("repopulated entry not served: %+v", out)
+	}
+}
+
+func TestStoreInvalidatesMemoryTier(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-inval")
+	if err := s.Store("interface", key, "conf", payload{Name: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if !s.Load("interface", key, "conf", &out) {
+		t.Fatal("load failed")
+	}
+	// Re-store (new conf): the promoted copy must not shadow it.
+	if err := s.Store("interface", key, "conf-b", payload{Name: "v2"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Load("interface", key, "conf", &out) {
+		t.Fatal("stale conf served after re-store")
+	}
+	if !s.Load("interface", key, "conf-b", &out) || out.Name != "v2" {
+		t.Fatalf("fresh entry not served: %+v", out)
+	}
+}

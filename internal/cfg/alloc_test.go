@@ -1,0 +1,57 @@
+package cfg_test
+
+// Frontend allocation ceilings, enforced with testing.AllocsPerRun so
+// the arena-and-bitset rewrite cannot silently rot back into the
+// map-per-round build it replaced (which cost thousands of allocations
+// per recovery on deep-search binaries). The package is cfg_test
+// because the corpus generator itself links cfg.
+//
+// Ceilings are deliberately loose — roughly 3× current reality — so
+// they flag regressions of kind (a reintroduced per-round rebuild, an
+// unpooled decode map), not jitter from corpus drift.
+
+import (
+	"testing"
+
+	"bside/internal/cfg"
+	"bside/internal/corpus"
+	"bside/internal/elff"
+)
+
+// recoverProfile is the deep-search shape of the large-binary
+// benchmarks — the same binary BenchmarkRecoverLargeBinary measures —
+// so the ceiling and the gated benchmark describe one workload.
+func recoverProfile(t *testing.T) *elff.Binary {
+	t.Helper()
+	bin, err := corpus.BuildProgram(corpus.LargeBinaryProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func TestRecoverAllocCeilingHotDeep(t *testing.T) {
+	bin := recoverProfile(t)
+	// Warm the builder pool once: the ceiling is the steady state every
+	// binary after the first pays in a batch.
+	if _, err := cfg.Recover(bin, cfg.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		g, err := cfg.Recover(bin, cfg.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumBlocks() == 0 {
+			t.Fatal("empty graph")
+		}
+	})
+	// Steady state is ~45 allocations: the final instruction arena, the
+	// block/edge/function slabs, the two lookup maps, and the sorted
+	// address-taken copies. Everything decode- or round-shaped is pooled.
+	const ceiling = 120
+	t.Logf("HotDeep recover: %.1f allocs/op (ceiling %d)", avg, ceiling)
+	if avg > ceiling {
+		t.Fatalf("cfg.Recover allocates %.1f/op, ceiling %d", avg, ceiling)
+	}
+}

@@ -3,6 +3,7 @@ package cfg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bside/internal/elff"
 	"bside/internal/x86"
@@ -14,7 +15,12 @@ type Options struct {
 	// all refinement rounds; 0 means a generous default. Exceeding it
 	// yields ErrBudget (the analysis-timeout analog).
 	MaxInsns int
-	// MaxRounds bounds active-address-taken refinement iterations.
+	// MaxRounds bounds the active-address-taken activation cascade: an
+	// address activated from code that itself only became reachable
+	// through an earlier activation sits one round deeper. The batch
+	// refinement loop of earlier versions re-built the graph once per
+	// round; the incremental fixpoint keeps the same bound as a
+	// runaway-cascade guard.
 	MaxRounds int
 	// ExtraRoots are additional traversal entry points (e.g. exported
 	// functions of a shared library).
@@ -35,14 +41,19 @@ func (o Options) withDefaults() Options {
 // heuristic indirect edges via active addresses taken (§4.3). Roots are
 // the entry point (executables), exported functions (libraries) and any
 // extra roots passed in the options.
+//
+// The frontend is allocation-lean by construction: one decode pass
+// fills a flat instruction arena indexed by code offset, the §4.3
+// refinement runs as a single incremental instruction-level fixpoint
+// (lea-carried code pointers are harvested at decode time, newly
+// activated regions are traversed exactly once, and reachability never
+// restarts), and the final graph is materialized once at the fixpoint
+// from pre-counted slabs — Block.Insns are zero-copy views into the
+// address-ordered arena.
 func Recover(bin *elff.Binary, opts Options) (*Graph, error) {
 	opts = opts.withDefaults()
-	b := &builder{
-		bin:    bin,
-		insns:  make(map[uint64]x86.Inst),
-		leader: make(map[uint64]bool),
-		budget: opts.MaxInsns,
-	}
+	b := getBuilder(bin, opts.MaxInsns)
+	defer putBuilder(b)
 
 	// Reachability roots drive the *active* address-taken refinement:
 	// the entry point for executables, exported functions for
@@ -81,79 +92,139 @@ func Recover(bin *elff.Binary, opts Options) (*Graph, error) {
 		return nil, err
 	}
 
-	g := &Graph{
-		Bin:         bin,
-		ImportStubs: make(map[uint64]string),
-		Roots:       roots,
+	// Figure 4's iterative refinement, incrementally: a single
+	// instruction-level reachability walk that activates lea-taken
+	// addresses on first visit, decodes newly activated regions in
+	// place, and resumes — no per-round rebuild, no rescan of already
+	// visited code.
+	iterations, err := b.fixpoint(roots, dataPtrs, opts.MaxRounds)
+	if err != nil {
+		return nil, err
 	}
 
-	// Iteratively: build blocks/edges, compute reachability, activate
-	// addresses taken found in reachable blocks, wire indirect edges,
-	// and re-traverse newly discovered code (Figure 4's loop).
-	active := make(map[uint64]bool)
-	for _, p := range dataPtrs {
-		active[p] = true
-	}
-	for round := 1; ; round++ {
-		if round > opts.MaxRounds {
-			return nil, fmt.Errorf("cfg: no fixpoint after %d rounds", opts.MaxRounds)
-		}
-		g.Stats.Iterations = round
-		b.buildBlocks(g, active)
-
-		reach := g.Reachable(roots...)
-		grew := false
-		for blk := range reach {
-			for _, in := range blk.Insns {
-				if in.Op != x86.OpLea {
-					continue
-				}
-				ea, ok := in.MemEA(in.Src)
-				if !ok || !bin.CodeContains(ea) {
-					continue
-				}
-				if !active[ea] {
-					active[ea] = true
-					grew = true
-					if err := b.traverse([]uint64{ea}); err != nil {
-						return nil, err
-					}
-				}
-			}
-		}
-		if !grew {
-			break
-		}
-	}
-
-	g.ActiveAddrTaken = sortedAddrs(active)
-	g.AddrTaken = b.allAddrTaken(bin)
-	b.inferFunctions(g, active)
+	g := &Graph{Bin: bin, Roots: roots}
+	g.Stats.Iterations = iterations
+	b.materialize(g)
+	b.inferFunctions(g)
 	g.Stats.DecodedInsns = b.decoded
-	g.Stats.NumBlocks = len(g.Blocks)
-	for _, blk := range g.sortedBlocks {
-		g.Stats.NumEdges += len(blk.Succs)
-	}
+	g.Stats.NumBlocks = len(g.sortedBlocks)
 	g.Stats.DecodeFailures = b.decodeFailures
 	return g, nil
 }
 
+// builder carries the decode arena and the fixpoint working set. Its
+// buffers are pooled across Recover calls (builderPool): a batch
+// analyzer pays the frontend's allocations once, not per binary.
 type builder struct {
-	bin            *elff.Binary
-	insns          map[uint64]x86.Inst
-	leader         map[uint64]bool
+	bin  *elff.Binary
+	base uint64
+	code int // code region length in bytes
+
+	// arena holds decoded instructions in decode order; off2idx maps a
+	// code offset to its arena index + 1 (0 = not decoded). leaEA is
+	// parallel to arena: the in-code target of a lea's memory operand,
+	// harvested at decode time and stored as code offset + 1 so 0 can
+	// mean "not a code-pointer lea" even for images loaded at virtual
+	// address 0 — the candidate worklist of the §4.3 refinement.
+	arena   []x86.Inst
+	off2idx []int32
+	leaEA   []uint64
+
+	// leader marks code offsets that must begin a basic block.
+	leader offBits
+
+	// Fixpoint state: visited is indexed by arena index; active marks
+	// activated address-taken offsets, with activeList recording them
+	// in activation order.
+	visited    offBits
+	active     offBits
+	activeList []uint64
+	stack      []fixEnt
+
+	// slotImport maps GOT slot addresses to import names, built once.
+	slotImport map[uint64]string
+
+	// Finalization scratch, reused across calls: per-block start
+	// indices and per-block edge degree counters.
+	blockStarts []int32
+	succDeg     []int32
+	predDeg     []int32
+	entries     []funcEntry
+
 	decoded        int
 	decodeFailures int
 	budget         int
 }
 
+// fixEnt is one fixpoint work item: an arena instruction index tagged
+// with its activation wave (how many address-taken activations separate
+// it from the roots) — the incremental analog of the old round counter.
+type fixEnt struct {
+	idx  int32
+	wave int32
+}
+
+var builderPool = sync.Pool{New: func() any { return new(builder) }}
+
+func getBuilder(bin *elff.Binary, budget int) *builder {
+	b := builderPool.Get().(*builder)
+	b.bin = bin
+	b.base = bin.Base
+	b.code = int(bin.CodeSize)
+	b.budget = budget
+	b.decoded = 0
+	b.decodeFailures = 0
+	b.arena = b.arena[:0]
+	b.leaEA = b.leaEA[:0]
+	b.activeList = b.activeList[:0]
+	b.stack = b.stack[:0]
+	if cap(b.off2idx) < b.code {
+		b.off2idx = make([]int32, b.code)
+	} else {
+		b.off2idx = b.off2idx[:b.code]
+		clear(b.off2idx)
+	}
+	b.leader.clearTo(b.code)
+	b.active.clearTo(b.code)
+	b.visited.clearTo(0)
+	if len(bin.Imports) > 0 {
+		b.slotImport = make(map[uint64]string, len(bin.Imports))
+		for _, im := range bin.Imports {
+			b.slotImport[im.SlotAddr] = im.Name
+		}
+	} else {
+		b.slotImport = nil
+	}
+	return b
+}
+
+func putBuilder(b *builder) {
+	b.bin = nil
+	b.slotImport = nil
+	builderPool.Put(b)
+}
+
+// insnAt returns the arena index of the instruction starting at addr,
+// or -1.
+func (b *builder) insnAt(addr uint64) int32 {
+	if addr < b.base {
+		return -1
+	}
+	off := addr - b.base
+	if off >= uint64(b.code) {
+		return -1
+	}
+	return b.off2idx[off] - 1
+}
+
 // traverse decodes instructions reachable from the given addresses via
-// direct control flow, recording block leaders.
+// direct control flow, recording block leaders and harvesting
+// lea-carried code pointers into the candidate arena.
 func (b *builder) traverse(starts []uint64) error {
 	work := make([]uint64, 0, len(starts))
 	for _, s := range starts {
 		if b.bin.CodeContains(s) {
-			b.leader[s] = true
+			b.leader.set(int(s - b.base))
 			work = append(work, s)
 		}
 	}
@@ -161,10 +232,10 @@ func (b *builder) traverse(starts []uint64) error {
 		addr := work[len(work)-1]
 		work = work[:len(work)-1]
 		for {
-			if _, done := b.insns[addr]; done {
+			if !b.bin.CodeContains(addr) {
 				break
 			}
-			if !b.bin.CodeContains(addr) {
+			if b.off2idx[addr-b.base] != 0 {
 				break
 			}
 			if b.decoded >= b.budget {
@@ -178,19 +249,29 @@ func (b *builder) traverse(starts []uint64) error {
 				b.decodeFailures++
 				break
 			}
-			b.insns[addr] = inst
+			b.arena = append(b.arena, inst)
+			b.off2idx[addr-b.base] = int32(len(b.arena))
+			var leaOff uint64 // code offset + 1; 0 = none
+			if inst.Op == x86.OpLea {
+				if e, ok := inst.MemEA(inst.Src); ok && b.bin.CodeContains(e) {
+					leaOff = e - b.base + 1
+				}
+			}
+			b.leaEA = append(b.leaEA, leaOff)
 			b.decoded++
 
 			if tgt, ok := inst.BranchTarget(); ok && b.bin.CodeContains(tgt) {
-				b.leader[tgt] = true
+				b.leader.set(int(tgt - b.base))
 				work = append(work, tgt)
 			}
 			switch inst.Op {
 			case x86.OpJmp, x86.OpJmpInd, x86.OpRet, x86.OpUd2, x86.OpHlt, x86.OpInt3:
 				// No fall-through.
 			case x86.OpJcc, x86.OpCall, x86.OpCallInd, x86.OpSyscall:
-				b.leader[inst.Next()] = true
-				work = append(work, inst.Next())
+				if next := inst.Next(); b.bin.CodeContains(next) {
+					b.leader.set(int(next - b.base))
+					work = append(work, next)
+				}
 			default:
 				addr = inst.Next()
 				continue
@@ -201,190 +282,436 @@ func (b *builder) traverse(starts []uint64) error {
 	return nil
 }
 
-// buildBlocks (re)constructs blocks and edges from the decoded
-// instruction map, wiring indirect edges to the currently active
-// addresses taken.
-func (b *builder) buildBlocks(g *Graph, active map[uint64]bool) {
-	addrs := make([]uint64, 0, len(b.insns))
-	for a := range b.insns {
-		addrs = append(addrs, a)
+// importTarget resolves a call/jmp through [rip+slot] against the
+// import table.
+func (b *builder) importTarget(inst x86.Inst) (string, bool) {
+	if b.slotImport == nil {
+		return "", false
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	ea, ok := inst.MemEA(inst.Dst)
+	if !ok {
+		return "", false
+	}
+	name, ok := b.slotImport[ea]
+	return name, ok
+}
 
-	g.Blocks = make(map[uint64]*Block, len(b.leader))
-	g.sortedBlocks = g.sortedBlocks[:0]
-
-	var cur *Block
-	flush := func() {
-		if cur != nil && len(cur.Insns) > 0 {
-			g.Blocks[cur.Addr] = cur
-			g.sortedBlocks = append(g.sortedBlocks, cur)
+// fixpoint runs the incremental §4.3 refinement: a depth-first
+// instruction-level reachability walk from the roots. Visiting a
+// harvested lea candidate activates its target — decoding the region
+// on the spot — and activated targets become reachable through any
+// already-visited indirect transfer. Reachability is monotone (code,
+// leaders and active addresses only grow), so every instruction is
+// visited at most once across the whole refinement; the old
+// build-blocks-per-round loop recomputed all of it every round.
+//
+// The returned iteration count is the activation cascade depth + 1:
+// the incremental equivalent of the old loop's round counter.
+func (b *builder) fixpoint(roots, dataPtrs []uint64, maxRounds int) (int, error) {
+	// Data pointers are conservatively active from the start.
+	for _, p := range dataPtrs {
+		if b.active.set(int(p - b.base)) {
+			b.activeList = append(b.activeList, p)
 		}
-		cur = nil
 	}
+
+	b.visited.growTo(len(b.arena))
+	push := func(addr uint64, wave int32) {
+		if idx := b.insnAt(addr); idx >= 0 && b.visited.set(int(idx)) {
+			b.stack = append(b.stack, fixEnt{idx: idx, wave: wave})
+		}
+	}
+	for _, r := range roots {
+		push(r, 0)
+	}
+
+	hasIndirect := false
+	maxWave := int32(0)
+	for len(b.stack) > 0 {
+		ent := b.stack[len(b.stack)-1]
+		b.stack = b.stack[:len(b.stack)-1]
+		inst := b.arena[ent.idx]
+
+		// Activate a harvested code pointer: decode its region (the
+		// arena and the visited set grow in place) and, when an
+		// indirect transfer is already reachable, schedule it.
+		if v := b.leaEA[ent.idx]; v != 0 && b.active.set(int(v-1)) {
+			ea := b.base + v - 1
+			b.activeList = append(b.activeList, ea)
+			if err := b.traverse([]uint64{ea}); err != nil {
+				return 0, err
+			}
+			b.visited.growTo(len(b.arena))
+			if hasIndirect {
+				if ent.wave+1 > maxWave {
+					maxWave = ent.wave + 1
+					if int(maxWave)+1 > maxRounds {
+						return 0, fmt.Errorf("cfg: no fixpoint after %d rounds", maxRounds)
+					}
+				}
+				push(ea, ent.wave+1)
+			}
+		}
+
+		indirect := func() {
+			if hasIndirect {
+				return
+			}
+			hasIndirect = true
+			// Every address activated so far becomes a potential
+			// indirect target; later activations schedule themselves.
+			for _, ea := range b.activeList {
+				push(ea, ent.wave+1)
+			}
+			if ent.wave+1 > maxWave {
+				maxWave = ent.wave + 1
+			}
+		}
+
+		switch inst.Op {
+		case x86.OpJmp, x86.OpCall, x86.OpJcc:
+			if tgt, ok := inst.BranchTarget(); ok {
+				push(tgt, ent.wave)
+			}
+			if inst.Op != x86.OpJmp {
+				push(inst.Next(), ent.wave)
+			}
+		case x86.OpCallInd:
+			if _, ok := b.importTarget(inst); !ok {
+				indirect()
+			}
+			push(inst.Next(), ent.wave)
+		case x86.OpJmpInd:
+			if _, ok := b.importTarget(inst); !ok {
+				indirect()
+			}
+		case x86.OpRet, x86.OpUd2, x86.OpHlt, x86.OpInt3:
+			// No successors.
+		default:
+			push(inst.Next(), ent.wave)
+		}
+	}
+	// Note: newly activated addresses found once an indirect transfer
+	// is reachable are pushed immediately, so the cascade above always
+	// drains completely; activations with no reachable indirect
+	// transfer stay decoded-but-unreachable, exactly as in the batch
+	// loop.
+	return int(maxWave) + 1, nil
+}
+
+// materialize builds the final immutable graph in one pass over the
+// address-ordered arena: blocks and edges are pre-counted and carved
+// from slabs, so the build cost is a handful of allocations however
+// large the binary.
+func (b *builder) materialize(g *Graph) {
+	// Address-ordered arena: the only copy of the decoded
+	// instructions the graph keeps. off2idx is rewritten to point into
+	// it so edge wiring can look targets up in O(1).
+	final := make([]x86.Inst, len(b.arena))
+	n := 0
+	for off := 0; off < b.code; off++ {
+		if idx := b.off2idx[off]; idx != 0 {
+			final[n] = b.arena[idx-1]
+			n++
+			b.off2idx[off] = int32(n)
+		}
+	}
+	final = final[:n]
+
+	// Pass 1: block boundaries.
+	b.blockStarts = b.blockStarts[:0]
 	var prevEnd uint64
-	for _, a := range addrs {
-		inst := b.insns[a]
-		if cur == nil || b.leader[a] || a != prevEnd {
-			flush()
-			cur = &Block{Addr: a}
+	open := false
+	for i := range final {
+		in := &final[i]
+		if !open || b.leader.has(int(in.Addr-b.base)) || in.Addr != prevEnd {
+			b.blockStarts = append(b.blockStarts, int32(i))
+			open = true
 		}
-		cur.Insns = append(cur.Insns, inst)
-		prevEnd = inst.Next()
-		if inst.IsTerminator() || inst.IsCall() || inst.Op == x86.OpSyscall {
-			flush()
+		prevEnd = in.Next()
+		if in.IsTerminator() || in.IsCall() || in.Op == x86.OpSyscall {
+			open = false
 		}
 	}
-	flush()
 
-	// Dense IDs in address order: the substrate of BlockSet and every
-	// index-backed scratch buffer downstream. Reassigned on every
-	// refinement round; the final round's numbering is the one the
-	// frozen graph carries.
-	for i, blk := range g.sortedBlocks {
-		blk.ID = i
+	numBlocks := len(b.blockStarts)
+	blocks := make([]Block, numBlocks)
+	sorted := make([]*Block, numBlocks)
+	byAddr := make(map[uint64]*Block, numBlocks)
+	g.ImportStubs = make(map[uint64]string)
+	for k := range blocks {
+		start := int(b.blockStarts[k])
+		end := len(final)
+		if k+1 < numBlocks {
+			end = int(b.blockStarts[k+1])
+		}
+		blk := &blocks[k]
+		blk.Addr = final[start].Addr
+		blk.Insns = final[start:end:end]
+		blk.ID = k
+		sorted[k] = blk
+		byAddr[blk.Addr] = blk
 	}
+	g.Blocks = byAddr
+	g.sortedBlocks = sorted
 
-	activeBlocks := make([]*Block, 0, len(active))
-	for ea := range active {
-		if blk, ok := g.Blocks[ea]; ok {
+	// Active address-taken blocks, in address order: the indirect-edge
+	// targets. The sorted copy doubles as Graph.ActiveAddrTaken.
+	activeAddrs := append([]uint64(nil), b.activeList...)
+	sort.Slice(activeAddrs, func(i, j int) bool { return activeAddrs[i] < activeAddrs[j] })
+	g.ActiveAddrTaken = activeAddrs
+	activeBlocks := make([]*Block, 0, len(activeAddrs))
+	for _, ea := range activeAddrs {
+		if blk, ok := byAddr[ea]; ok {
 			activeBlocks = append(activeBlocks, blk)
 		}
 	}
-	sort.Slice(activeBlocks, func(i, j int) bool { return activeBlocks[i].Addr < activeBlocks[j].Addr })
 
-	addEdge := func(kind EdgeKind, from, to *Block) {
-		e := Edge{Kind: kind, From: from, To: to}
-		from.Succs = append(from.Succs, e)
-		to.Preds = append(to.Preds, e)
+	// Pass 2: count edge degrees, resolve import labels.
+	if cap(b.succDeg) < numBlocks {
+		b.succDeg = make([]int32, numBlocks)
+		b.predDeg = make([]int32, numBlocks)
+	} else {
+		b.succDeg = b.succDeg[:numBlocks]
+		b.predDeg = b.predDeg[:numBlocks]
+		clear(b.succDeg)
+		clear(b.predDeg)
 	}
-	edgeTo := func(kind EdgeKind, from *Block, target uint64) {
-		if to, ok := g.Blocks[target]; ok {
-			addEdge(kind, from, to)
+	blockAt := func(addr uint64) *Block {
+		blk, ok := byAddr[addr]
+		if !ok {
+			return nil
 		}
+		return blk
 	}
-
-	for _, blk := range g.sortedBlocks {
+	totalEdges := 0
+	countEdge := func(from *Block, to *Block) {
+		if to == nil {
+			return
+		}
+		b.succDeg[from.ID]++
+		b.predDeg[to.ID]++
+		totalEdges++
+	}
+	for _, blk := range sorted {
 		last := blk.Last()
 		switch last.Op {
 		case x86.OpJmp:
-			edgeTo(EdgeJump, blk, uint64(last.Dst.Imm))
+			countEdge(blk, blockAt(uint64(last.Dst.Imm)))
 		case x86.OpJcc:
-			edgeTo(EdgeJump, blk, uint64(last.Dst.Imm))
-			edgeTo(EdgeFall, blk, last.Next())
+			countEdge(blk, blockAt(uint64(last.Dst.Imm)))
+			countEdge(blk, blockAt(last.Next()))
 		case x86.OpCall:
-			edgeTo(EdgeCall, blk, uint64(last.Dst.Imm))
-			edgeTo(EdgeCallFall, blk, last.Next())
+			countEdge(blk, blockAt(uint64(last.Dst.Imm)))
+			countEdge(blk, blockAt(last.Next()))
 		case x86.OpCallInd:
 			if name, ok := b.importTarget(last); ok {
 				blk.ImportCall = name
 			} else {
 				for _, t := range activeBlocks {
-					addEdge(EdgeIndirectCall, blk, t)
+					countEdge(blk, t)
 				}
 			}
-			edgeTo(EdgeCallFall, blk, last.Next())
+			countEdge(blk, blockAt(last.Next()))
 		case x86.OpJmpInd:
 			if name, ok := b.importTarget(last); ok {
 				blk.ImportCall = name
 				g.ImportStubs[blk.Addr] = name
 			} else {
 				for _, t := range activeBlocks {
-					addEdge(EdgeIndirectJump, blk, t)
+					countEdge(blk, t)
 				}
 			}
 		case x86.OpRet, x86.OpUd2, x86.OpHlt, x86.OpInt3:
 			// No successors; returns are modeled by EdgeCallFall.
 		default:
 			// Fall-through block boundary (syscall or leader split).
-			edgeTo(EdgeFall, blk, last.Next())
+			countEdge(blk, blockAt(last.Next()))
 		}
 	}
+
+	// Pass 3: carve Succs/Preds from two slabs and wire the edges in
+	// the same order the per-round builder produced.
+	succSlab := make([]Edge, 0, totalEdges)
+	predSlab := make([]Edge, 0, totalEdges)
+	for _, blk := range sorted {
+		d := int(b.succDeg[blk.ID])
+		blk.Succs = succSlab[len(succSlab) : len(succSlab) : len(succSlab)+d]
+		succSlab = succSlab[:len(succSlab)+d]
+		d = int(b.predDeg[blk.ID])
+		blk.Preds = predSlab[len(predSlab) : len(predSlab) : len(predSlab)+d]
+		predSlab = predSlab[:len(predSlab)+d]
+	}
+	addEdge := func(kind EdgeKind, from, to *Block) {
+		if to == nil {
+			return
+		}
+		e := Edge{Kind: kind, From: from, To: to}
+		from.Succs = append(from.Succs, e)
+		to.Preds = append(to.Preds, e)
+	}
+	for _, blk := range sorted {
+		last := blk.Last()
+		switch last.Op {
+		case x86.OpJmp:
+			addEdge(EdgeJump, blk, blockAt(uint64(last.Dst.Imm)))
+		case x86.OpJcc:
+			addEdge(EdgeJump, blk, blockAt(uint64(last.Dst.Imm)))
+			addEdge(EdgeFall, blk, blockAt(last.Next()))
+		case x86.OpCall:
+			addEdge(EdgeCall, blk, blockAt(uint64(last.Dst.Imm)))
+			addEdge(EdgeCallFall, blk, blockAt(last.Next()))
+		case x86.OpCallInd:
+			// Same predicate as the count pass: importTarget, not the
+			// ImportCall label (a dynsym legally named "" would make
+			// the label test disagree and overflow the edge slabs).
+			if _, ok := b.importTarget(last); !ok {
+				for _, t := range activeBlocks {
+					addEdge(EdgeIndirectCall, blk, t)
+				}
+			}
+			addEdge(EdgeCallFall, blk, blockAt(last.Next()))
+		case x86.OpJmpInd:
+			if _, ok := b.importTarget(last); !ok {
+				for _, t := range activeBlocks {
+					addEdge(EdgeIndirectJump, blk, t)
+				}
+			}
+		case x86.OpRet, x86.OpUd2, x86.OpHlt, x86.OpInt3:
+		default:
+			addEdge(EdgeFall, blk, blockAt(last.Next()))
+		}
+	}
+	g.Stats.NumEdges = totalEdges
+
+	// The full address-taken set (SysFilter's original, non-active
+	// notion): every harvested lea candidate, reachable or not.
+	g.AddrTaken = dedupSorted(b.leaEACopy())
 }
 
-// importTarget resolves a call/jmp through [rip+slot] against the import
-// table.
-func (b *builder) importTarget(inst x86.Inst) (string, bool) {
-	ea, ok := inst.MemEA(inst.Dst)
-	if !ok {
-		return "", false
+// leaEACopy collects the harvested lea targets as virtual addresses.
+func (b *builder) leaEACopy() []uint64 {
+	out := make([]uint64, 0, 8)
+	for _, v := range b.leaEA {
+		if v != 0 {
+			out = append(out, b.base+v-1)
+		}
 	}
-	return b.importAtSlot(ea)
+	return out
 }
 
-func (b *builder) importAtSlot(slot uint64) (string, bool) {
-	for _, im := range b.bin.Imports {
-		if im.SlotAddr == slot {
-			return im.Name, true
-		}
-	}
-	return "", false
-}
-
-// allAddrTaken scans every decoded instruction for lea operands landing
-// in code, reachable or not (SysFilter's original, non-active notion).
-func (b *builder) allAddrTaken(bin *elff.Binary) []uint64 {
-	set := make(map[uint64]bool)
-	for _, in := range b.insns {
-		if in.Op != x86.OpLea {
-			continue
-		}
-		if ea, ok := in.MemEA(in.Src); ok && bin.CodeContains(ea) {
-			set[ea] = true
-		}
-	}
-	return sortedAddrs(set)
+// funcEntry is one candidate function entry during inference. rank
+// orders the naming phases (symbols, exports, roots, active addresses,
+// call targets) so the first non-empty name in phase order wins,
+// deterministically.
+type funcEntry struct {
+	addr uint64
+	name string
+	rank uint8
 }
 
 // inferFunctions derives function boundaries: entries are symbols,
 // exports, roots, direct call targets and active addresses taken; block
 // membership follows the nearest-preceding-entry rule.
-func (b *builder) inferFunctions(g *Graph, active map[uint64]bool) {
-	entries := make(map[uint64]string)
-	markEntry := func(addr uint64, name string) {
+func (b *builder) inferFunctions(g *Graph) {
+	ents := b.entries[:0]
+	add := func(addr uint64, name string, rank uint8) {
 		if _, ok := g.Blocks[addr]; !ok {
 			return
 		}
-		if cur, ok := entries[addr]; !ok || cur == "" {
-			entries[addr] = name
-		}
+		ents = append(ents, funcEntry{addr: addr, name: name, rank: rank})
 	}
 	for name, addr := range g.Bin.Symbols {
-		markEntry(addr, name)
+		add(addr, name, 0)
 	}
 	for _, e := range g.Bin.Exports {
-		markEntry(e.Addr, e.Name)
+		add(e.Addr, e.Name, 1)
 	}
 	for _, r := range g.Roots {
-		markEntry(r, "")
+		add(r, "", 2)
 	}
-	for ea := range active {
-		markEntry(ea, "")
+	for _, ea := range g.ActiveAddrTaken {
+		add(ea, "", 3)
 	}
 	for _, blk := range g.sortedBlocks {
 		if last := blk.Last(); last.Op == x86.OpCall {
-			markEntry(uint64(last.Dst.Imm), "")
+			add(uint64(last.Dst.Imm), "", 4)
 		}
 	}
+	sort.Slice(ents, func(i, j int) bool {
+		a, c := ents[i], ents[j]
+		if a.addr != c.addr {
+			return a.addr < c.addr
+		}
+		if a.rank != c.rank {
+			return a.rank < c.rank
+		}
+		return a.name < c.name
+	})
+	b.entries = ents // keep the grown buffer for the pool
 
-	addrs := sortedAddrs64(entries)
-	g.Funcs = make([]*Func, 0, len(addrs))
-	g.funcByEntry = make(map[uint64]*Func, len(addrs))
-	for _, a := range addrs {
-		f := &Func{Entry: a, Name: entries[a]}
-		g.Funcs = append(g.Funcs, f)
-		g.funcByEntry[a] = f
+	// Collapse duplicates: one function per address, named by the
+	// first non-empty candidate in phase order.
+	n := 0
+	for i := 0; i < len(ents); {
+		j := i
+		name := ""
+		for ; j < len(ents) && ents[j].addr == ents[i].addr; j++ {
+			if name == "" {
+				name = ents[j].name
+			}
+		}
+		ents[n] = funcEntry{addr: ents[i].addr, name: name}
+		n++
+		i = j
 	}
-	if len(g.Funcs) == 0 {
+	ents = ents[:n]
+
+	funcs := make([]Func, len(ents))
+	g.Funcs = make([]*Func, len(ents))
+	g.funcByEntry = make(map[uint64]*Func, len(ents))
+	for i, e := range ents {
+		f := &funcs[i]
+		f.Entry = e.addr
+		f.Name = e.name
+		g.Funcs[i] = f
+		g.funcByEntry[e.addr] = f
+	}
+	if len(funcs) == 0 {
 		return
 	}
+	// Nearest-preceding-entry membership over one merge walk: both the
+	// blocks and the entries are address-sorted. Count first, then
+	// carve the per-function block lists from one slab.
+	counts := b.succDeg[:0] // reuse the degree buffer as scratch
+	for range funcs {
+		counts = append(counts, 0)
+	}
+	assigned := 0
+	fi := -1
 	for _, blk := range g.sortedBlocks {
-		idx := sort.Search(len(g.Funcs), func(i int) bool { return g.Funcs[i].Entry > blk.Addr })
-		if idx == 0 {
-			continue // block before the first known function entry
+		for fi+1 < len(funcs) && funcs[fi+1].Entry <= blk.Addr {
+			fi++
 		}
-		f := g.Funcs[idx-1]
-		f.Blocks = append(f.Blocks, blk)
+		if fi >= 0 {
+			counts[fi]++
+			assigned++
+		}
+	}
+	slab := make([]*Block, 0, assigned)
+	for i := range funcs {
+		d := int(counts[i])
+		funcs[i].Blocks = slab[len(slab) : len(slab) : len(slab)+d]
+		slab = slab[:len(slab)+d]
+	}
+	fi = -1
+	for _, blk := range g.sortedBlocks {
+		for fi+1 < len(funcs) && funcs[fi+1].Entry <= blk.Addr {
+			fi++
+		}
+		if fi >= 0 {
+			funcs[fi].Blocks = append(funcs[fi].Blocks, blk)
+		}
 	}
 }
 
@@ -409,20 +736,67 @@ func scanDataPointers(bin *elff.Binary) []uint64 {
 	return out
 }
 
-func sortedAddrs(set map[uint64]bool) []uint64 {
-	out := make([]uint64, 0, len(set))
-	for a := range set {
-		out = append(out, a)
+// dedupSorted sorts s ascending and removes duplicates in place.
+func dedupSorted(s []uint64) []uint64 {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := 0
+	for i, v := range s {
+		if i == 0 || v != s[n-1] {
+			s[n] = v
+			n++
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return s[:n]
 }
 
-func sortedAddrs64(m map[uint64]string) []uint64 {
-	out := make([]uint64, 0, len(m))
-	for a := range m {
-		out = append(out, a)
+// offBits is a plain dense bitset over small integer indices (code
+// offsets, arena indices). Unlike BlockSet it carries no element count
+// and never grows implicitly — reset sizes it for the domain.
+type offBits struct {
+	words []uint64
+}
+
+// clearTo resizes the bitset for n bits with every bit clear.
+func (s *offBits) clearTo(n int) {
+	w := (n + 63) / 64
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+		return
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	s.words = s.words[:w]
+	clear(s.words)
+}
+
+// growTo widens the bitset to n bits, keeping already-set bits (the
+// fixpoint's visited set grows with the arena).
+func (s *offBits) growTo(n int) {
+	w := (n + 63) / 64
+	if w <= len(s.words) {
+		return
+	}
+	if cap(s.words) >= w {
+		old := len(s.words)
+		s.words = s.words[:w]
+		clear(s.words[old:])
+		return
+	}
+	words := make([]uint64, w, w+w/2)
+	copy(words, s.words)
+	s.words = words
+}
+
+// set marks bit i and reports whether it was previously clear.
+func (s *offBits) set(i int) bool {
+	w, bit := i/64, uint64(1)<<(i%64)
+	if s.words[w]&bit != 0 {
+		return false
+	}
+	s.words[w] |= bit
+	return true
+}
+
+// has reports whether bit i is set.
+func (s *offBits) has(i int) bool {
+	w := i / 64
+	return s.words[w]&(1<<(i%64)) != 0
 }

@@ -319,3 +319,20 @@ func nameFor(prefix string, i int) string {
 	const letters = "abcdefghijklmnopqrstuvwxyz"
 	return prefix + "-" + string(letters[i%26]) + string(letters[(i/26)%26]) + string('0'+rune(i%10))
 }
+
+// LargeBinaryProfile is the shared large-binary workload shape: one
+// static binary dominated by deep backward-search sites. The
+// whole-analysis benchmark (BenchmarkAnalyzeLargeBinary), the
+// frontend-only benchmark (BenchmarkRecoverLargeBinary) and the CFG
+// recovery allocation-ceiling test all build exactly this profile, so
+// their numbers describe the same binary — tune it here, not in the
+// call sites.
+func LargeBinaryProfile() Profile {
+	return Profile{
+		Name: "large", Kind: elff.KindStatic,
+		HotDirect: 16, HotWrapper: 6, HotStack: 3, Handlers: 4,
+		HotDeep: 40, DeepBlocks: 48,
+		ColdDirect: 12, ColdWrapper: 4, StackedTruth: 2,
+		Filler: 40, Seed: 77,
+	}
+}

@@ -1,0 +1,127 @@
+package elff
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Identity is the cheap content identity of an ELF image: exactly the
+// fields the content-addressed analysis caches key by — the image hash
+// and the DT_NEEDED list (whose transitive closure fingerprints a
+// program entry). It exists so a warm-cache probe does not pay the
+// full debug/elf parse (section walks, symbol tables, string tables)
+// for a binary whose analysis is already on disk or in memory.
+type Identity struct {
+	// Hash is the lowercase hex SHA-256 of the image bytes, identical
+	// to the Hash a full Read would stamp.
+	Hash string
+	// Needed lists DT_NEEDED entries in file order, identical to the
+	// Needed a full Read would produce (nil when the image has no
+	// dynamic section).
+	Needed []string
+}
+
+// ELF constants the identity parser needs beyond write.go's shared
+// set; values are fixed by the System V gABI.
+const (
+	elfClass64    = 2
+	elfDataLE     = 1
+	elfTypeExec   = 2
+	elfTypeDyn    = 3
+	elfMachX86_64 = 62
+	shentSize64   = 64
+)
+
+// ReadIdentity derives an image's cache identity with a minimal
+// hand-rolled ELF64 walk: header, section headers, the dynamic section
+// and its string table — nothing else is touched. Any structural
+// oddity is an error; callers fall back to the full Read (which either
+// parses the file properly or reports the real problem). A successful
+// ReadIdentity agrees with Read on both fields by construction.
+func ReadIdentity(data []byte) (Identity, error) {
+	var id Identity
+	if len(data) < 64 || data[0] != 0x7F || data[1] != 'E' || data[2] != 'L' || data[3] != 'F' {
+		return id, fmt.Errorf("elff: not an ELF image")
+	}
+	if data[4] != elfClass64 || data[5] != elfDataLE {
+		return id, fmt.Errorf("elff: not a little-endian ELF64 image")
+	}
+	etype := binary.LittleEndian.Uint16(data[16:])
+	if etype != elfTypeExec && etype != elfTypeDyn {
+		return id, fmt.Errorf("elff: unsupported ELF type %d", etype)
+	}
+	if machine := binary.LittleEndian.Uint16(data[18:]); machine != elfMachX86_64 {
+		return id, fmt.Errorf("elff: unsupported machine %d", machine)
+	}
+
+	sum := sha256.Sum256(data)
+	id.Hash = hex.EncodeToString(sum[:])
+
+	shoff := binary.LittleEndian.Uint64(data[40:])
+	shentsize := binary.LittleEndian.Uint16(data[58:])
+	shnum := binary.LittleEndian.Uint16(data[60:])
+	if shnum == 0 {
+		return id, nil // no sections: no dynamic info
+	}
+	if shentsize != shentSize64 {
+		return id, fmt.Errorf("elff: unexpected section header size %d", shentsize)
+	}
+	end := shoff + uint64(shnum)*shentSize64
+	if shoff > uint64(len(data)) || end < shoff || end > uint64(len(data)) {
+		return id, fmt.Errorf("elff: section headers out of bounds")
+	}
+
+	section := func(i uint16) []byte {
+		return data[shoff+uint64(i)*shentSize64:]
+	}
+	for i := uint16(0); i < shnum; i++ {
+		sh := section(i)
+		if binary.LittleEndian.Uint32(sh[4:]) != shtDynamic {
+			continue
+		}
+		dynOff := binary.LittleEndian.Uint64(sh[24:])
+		dynSize := binary.LittleEndian.Uint64(sh[32:])
+		link := binary.LittleEndian.Uint32(sh[40:])
+		if dynOff+dynSize < dynOff || dynOff+dynSize > uint64(len(data)) {
+			return id, fmt.Errorf("elff: dynamic section out of bounds")
+		}
+		if link >= uint32(shnum) {
+			return id, fmt.Errorf("elff: dynamic strtab link out of range")
+		}
+		str := section(uint16(link))
+		strOff := binary.LittleEndian.Uint64(str[24:])
+		strSize := binary.LittleEndian.Uint64(str[32:])
+		if strOff+strSize < strOff || strOff+strSize > uint64(len(data)) {
+			return id, fmt.Errorf("elff: dynamic strtab out of bounds")
+		}
+		strtab := data[strOff : strOff+strSize]
+
+		dyn := data[dynOff : dynOff+dynSize]
+		for off := 0; off+16 <= len(dyn); off += 16 {
+			tag := binary.LittleEndian.Uint64(dyn[off:])
+			if tag == dtNull {
+				break
+			}
+			if tag != dtNeeded {
+				continue
+			}
+			val := binary.LittleEndian.Uint64(dyn[off+8:])
+			if val >= uint64(len(strtab)) {
+				return id, fmt.Errorf("elff: DT_NEEDED name out of strtab range")
+			}
+			name := strtab[val:]
+			n := 0
+			for n < len(name) && name[n] != 0 {
+				n++
+			}
+			if n == len(name) {
+				return id, fmt.Errorf("elff: unterminated DT_NEEDED name")
+			}
+			id.Needed = append(id.Needed, string(name[:n]))
+		}
+		return id, nil
+	}
+	return id, nil
+}

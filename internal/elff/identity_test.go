@@ -1,0 +1,64 @@
+package elff
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestReadIdentityAgreesWithRead pins the contract the warm-cache fast
+// path rides on: for any image Write produces, ReadIdentity and the
+// full Read agree on the content hash and the DT_NEEDED list.
+func TestReadIdentityAgreesWithRead(t *testing.T) {
+	specs := map[string]Spec{
+		"static": {
+			Kind: KindStatic, Base: 0x400000, Entry: 0x400000,
+			Blob: make([]byte, 128), CodeSize: 64,
+		},
+		"dynamic": {
+			Kind: KindDynamic, Base: 0x400000, Entry: 0x400000,
+			Blob: make([]byte, 128), CodeSize: 64,
+			Needed:  []string{"libc.so.6", "libg0.so", "libextra.so"},
+			Imports: []Import{{Name: "write", SlotAddr: 0x400080}},
+		},
+		"shared": {
+			Kind: KindShared, Base: 0x400000,
+			Blob: make([]byte, 128), CodeSize: 64,
+			Needed:  []string{"libc.so.6"},
+			Exports: []Export{{Name: "fn", Addr: 0x400010}},
+		},
+	}
+	for name, spec := range specs {
+		data, err := Write(spec)
+		if err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		bin, err := Read(data)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		id, err := ReadIdentity(data)
+		if err != nil {
+			t.Fatalf("%s: identity: %v", name, err)
+		}
+		if id.Hash != bin.Hash {
+			t.Errorf("%s: hash drift: %s vs %s", name, id.Hash, bin.Hash)
+		}
+		if !reflect.DeepEqual(id.Needed, bin.Needed) {
+			t.Errorf("%s: needed drift: %v vs %v", name, id.Needed, bin.Needed)
+		}
+	}
+}
+
+func TestReadIdentityRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     nil,
+		"short":     []byte("\x7fELF"),
+		"not-elf":   make([]byte, 128),
+		"truncated": append([]byte{0x7F, 'E', 'L', 'F', 2, 1}, make([]byte, 20)...),
+	}
+	for name, data := range cases {
+		if _, err := ReadIdentity(data); err == nil {
+			t.Errorf("%s: garbage accepted", name)
+		}
+	}
+}

@@ -126,6 +126,19 @@ func ReadFile(path string) (*Binary, error) {
 
 // Read parses an ELF image from memory.
 func Read(data []byte) (*Binary, error) {
+	return readHashed(data, "")
+}
+
+// ReadPrehashed parses like Read but reuses a content hash already
+// computed over exactly these bytes (typically by ReadIdentity on the
+// cache-probe path), skipping a second SHA-256 over the image. hash
+// must be what Read would compute for data — anything else poisons
+// every content-addressed cache entry keyed by it.
+func ReadPrehashed(data []byte, hash string) (*Binary, error) {
+	return readHashed(data, hash)
+}
+
+func readHashed(data []byte, hash string) (*Binary, error) {
 	f, err := elf.NewFile(bytes.NewReader(data))
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
@@ -136,8 +149,11 @@ func Read(data []byte) (*Binary, error) {
 		return nil, fmt.Errorf("unsupported machine %v", f.Machine)
 	}
 
-	sum := sha256.Sum256(data)
-	out := &Binary{Entry: f.Entry, Hash: hex.EncodeToString(sum[:]), Symbols: make(map[string]uint64)}
+	if hash == "" {
+		sum := sha256.Sum256(data)
+		hash = hex.EncodeToString(sum[:])
+	}
+	out := &Binary{Entry: f.Entry, Hash: hash, Symbols: make(map[string]uint64)}
 	switch {
 	case f.Type == elf.ET_EXEC:
 		out.Kind = KindStatic

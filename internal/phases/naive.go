@@ -29,15 +29,22 @@ func DetectNaive(in Input) []NaivePhase {
 	if start == 0 {
 		start = g.Bin.Entry
 	}
-	reach := g.Reachable(start)
+	reach := g.ReachableSet(start)
 
 	groups := make(map[string][]uint64)
 	allowedByKey := make(map[string]map[uint64]bool)
-	for blk := range reach {
+	seen := cfg.NewBlockSet(g.NumBlocks())
+	var stack []*cfg.Block
+	for _, blk := range g.SortedBlocks() {
+		if !reach.Has(blk) {
+			continue
+		}
 		// Full forward traversal from blk (deliberately re-done per
-		// block, as the naive method navigates the CFG each time).
-		seen := map[*cfg.Block]bool{blk: true}
-		stack := []*cfg.Block{blk}
+		// block, as the naive method navigates the CFG each time; the
+		// reused visited set does not change the quadratic shape).
+		seen.Reset()
+		seen.Add(blk)
+		stack = append(stack[:0], blk)
 		var sig []uint64
 		allowed := make(map[uint64]bool)
 		for len(stack) > 0 {
@@ -50,8 +57,7 @@ func DetectNaive(in Input) []NaivePhase {
 				}
 			}
 			for _, e := range b.Succs {
-				if !seen[e.To] {
-					seen[e.To] = true
+				if seen.Add(e.To) {
 					stack = append(stack, e.To)
 				}
 			}

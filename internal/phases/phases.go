@@ -124,10 +124,10 @@ func Detect(in Input, conf Config) (*Automaton, error) {
 	}
 
 	// Restrict to reachable blocks and assign dense indices.
-	reach := g.Reachable(start)
-	blocks := make([]*cfg.Block, 0, len(reach))
+	reach := g.ReachableSet(start)
+	blocks := make([]*cfg.Block, 0, reach.Len())
 	for _, b := range g.SortedBlocks() {
-		if reach[b] {
+		if reach.Has(b) {
 			blocks = append(blocks, b)
 		}
 	}

@@ -73,13 +73,14 @@ type Analyzer struct {
 	// the oracle itself, not for correctness.
 	DisableFuncMemo bool
 
-	mu         sync.Mutex
-	interfaces map[string]*Interface
-	exportMemo map[string]exportSet
-	bins       map[string]*elff.Binary
-	binFlight  map[string]*flight[*elff.Binary]
-	ifcFlight  map[string]*flight[*Interface]
-	moduleSeq  atomic.Uint64
+	mu          sync.Mutex
+	interfaces  map[string]*Interface
+	exportMemo  map[string]exportSet
+	bins        map[string]*elff.Binary
+	binFlight   map[string]*flight[*elff.Binary]
+	ifcFlight   map[string]*flight[*Interface]
+	depHashMemo map[string]string
+	moduleSeq   atomic.Uint64
 }
 
 type exportSet struct {
@@ -128,13 +129,14 @@ func singleflight[T any](mu *sync.Mutex, memo map[string]T, flights map[string]*
 // NewAnalyzer builds an Analyzer around a library loader.
 func NewAnalyzer(load func(name string) (*elff.Binary, error), conf ident.Config) *Analyzer {
 	return &Analyzer{
-		LoadLib:    load,
-		Config:     conf,
-		interfaces: make(map[string]*Interface),
-		exportMemo: make(map[string]exportSet),
-		bins:       make(map[string]*elff.Binary),
-		binFlight:  make(map[string]*flight[*elff.Binary]),
-		ifcFlight:  make(map[string]*flight[*Interface]),
+		LoadLib:     load,
+		Config:      conf,
+		interfaces:  make(map[string]*Interface),
+		exportMemo:  make(map[string]exportSet),
+		bins:        make(map[string]*elff.Binary),
+		binFlight:   make(map[string]*flight[*elff.Binary]),
+		ifcFlight:   make(map[string]*flight[*Interface]),
+		depHashMemo: make(map[string]string),
 	}
 }
 
@@ -294,7 +296,7 @@ func (a *Analyzer) computeInterface(name string) (*Interface, error) {
 	if err != nil {
 		return nil, err
 	}
-	conf, confOK := a.entryConf(kindInterface, bin)
+	conf, confOK := a.entryConf(kindInterface, bin.Hash, bin.Needed)
 	if confOK {
 		var ifc Interface
 		if a.Cache.Load(kindInterface, bin.Hash, conf, &ifc) {

@@ -77,13 +77,37 @@ func (a *Analyzer) confFingerprint(kind string) string {
 	return fp
 }
 
-// depHashes resolves bin's transitive DT_NEEDED closure and renders
+// depHashes resolves a DT_NEEDED list's transitive closure and renders
 // each member as name=sha256, sorted. A cached result is only valid
 // while every dependency image is byte-identical: upgrading a library
 // busts the entries of everything linking it, even though the
 // dependents' own images are unchanged.
-func (a *Analyzer) depHashes(bin *elff.Binary) (string, error) {
-	closure, err := a.depClosure(bin.Needed)
+//
+// The rendering is memoized per needed-list: LoadLib's name→image
+// mapping is fixed for the analyzer's lifetime (loads are memoized),
+// so the fingerprint is a pure function of the list — and one cache
+// probe plus its following store would otherwise walk the closure
+// twice per binary, with a whole batch repeating it per member.
+func (a *Analyzer) depHashes(needed []string) (string, error) {
+	memoKey := strings.Join(needed, "\x00")
+	a.mu.Lock()
+	if v, ok := a.depHashMemo[memoKey]; ok {
+		a.mu.Unlock()
+		return v, nil
+	}
+	a.mu.Unlock()
+	out, err := a.depHashesUncached(needed)
+	if err != nil {
+		return "", err
+	}
+	a.mu.Lock()
+	a.depHashMemo[memoKey] = out
+	a.mu.Unlock()
+	return out, nil
+}
+
+func (a *Analyzer) depHashesUncached(needed []string) (string, error) {
+	closure, err := a.depClosure(needed)
 	if err != nil {
 		return "", err
 	}
@@ -116,18 +140,55 @@ func (a *Analyzer) depHashes(bin *elff.Binary) (string, error) {
 }
 
 // entryConf builds the cache fingerprint for entries of one kind
-// derived from bin, and reports whether caching is possible at all (a
-// store is configured, the image has a content hash, and the
-// dependency closure is hashable).
-func (a *Analyzer) entryConf(kind string, bin *elff.Binary) (string, bool) {
-	if a.Cache == nil || bin.Hash == "" {
+// derived from an image with the given content hash and DT_NEEDED
+// list, and reports whether caching is possible at all (a store is
+// configured, the image has a content hash, and the dependency closure
+// is hashable).
+func (a *Analyzer) entryConf(kind, hash string, needed []string) (string, bool) {
+	if a.Cache == nil || hash == "" {
 		return "", false
 	}
-	deps, err := a.depHashes(bin)
+	deps, err := a.depHashes(needed)
 	if err != nil {
 		return "", false
 	}
 	return a.confFingerprint(kind) + "|deps:" + deps, true
+}
+
+// CachedSummary probes the program cache for an image identified only
+// by its content hash and DT_NEEDED list — the two facts a cheap
+// identity parse (elff.ReadIdentity) yields — and returns the
+// persisted summary on a hit. The warm batch path rides on this: a
+// fleet re-probe never pays the full ELF parse, let alone a decoded
+// instruction, for a binary whose analysis is already stored.
+func (a *Analyzer) CachedSummary(hash string, needed []string) (*Summary, bool) {
+	conf, confOK := a.entryConf(kindProgram, hash, needed)
+	if !confOK {
+		return nil, false
+	}
+	var sum Summary
+	if !a.Cache.Load(kindProgram, hash, conf, &sum) {
+		return nil, false
+	}
+	sum.Cached = true
+	sum.normalize()
+	return &sum, true
+}
+
+// ComputeSummary is the miss half of ProgramSummary: it runs the full
+// analysis and persists the summary, without re-probing the store
+// (callers that already probed via CachedSummary use it directly).
+func (a *Analyzer) ComputeSummary(bin *elff.Binary) (*Summary, *ProgramReport, error) {
+	rep, err := a.Program(bin)
+	if err != nil {
+		return nil, nil, err
+	}
+	sum := Summarize(rep)
+	if conf, confOK := a.entryConf(kindProgram, bin.Hash, bin.Needed); confOK {
+		// Best-effort: a failed store only costs a future re-analysis.
+		_ = a.Cache.Store(kindProgram, bin.Hash, conf, sum)
+	}
+	return sum, rep, nil
 }
 
 // ProgramSummary is the cache-aware analysis entry point. On a store
@@ -136,23 +197,8 @@ func (a *Analyzer) entryConf(kind string, bin *elff.Binary) (string, bool) {
 // instruction, and rep is nil. On a miss it runs Program, persists the
 // summary, and returns both.
 func (a *Analyzer) ProgramSummary(bin *elff.Binary) (*Summary, *ProgramReport, error) {
-	conf, confOK := a.entryConf(kindProgram, bin)
-	if confOK {
-		var sum Summary
-		if a.Cache.Load(kindProgram, bin.Hash, conf, &sum) {
-			sum.Cached = true
-			sum.normalize()
-			return &sum, nil, nil
-		}
+	if sum, ok := a.CachedSummary(bin.Hash, bin.Needed); ok {
+		return sum, nil, nil
 	}
-	rep, err := a.Program(bin)
-	if err != nil {
-		return nil, nil, err
-	}
-	sum := Summarize(rep)
-	if confOK {
-		// Best-effort: a failed store only costs a future re-analysis.
-		_ = a.Cache.Store(kindProgram, bin.Hash, conf, sum)
-	}
-	return sum, rep, nil
+	return a.ComputeSummary(bin)
 }
