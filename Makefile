@@ -4,7 +4,7 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build vet fmt-check test race bench bench-compare bench-check profile fuzz fuzz-nightly
+.PHONY: all build vet fmt-check test race bench bench-compare bench-check profile fuzz fuzz-nightly serve-smoke
 
 all: build vet fmt-check test
 
@@ -33,7 +33,7 @@ test:
 race:
 	$(GO) test -race ./internal/cache/... ./internal/shared/... \
 		./internal/pipeline/... ./internal/ident/... ./internal/cfg/... \
-		./internal/fuzzer/... .
+		./internal/fuzzer/... ./internal/serve/... .
 
 # One-iteration benchmark smoke run.
 bench:
@@ -48,7 +48,7 @@ bench:
 # pipe element), and the in-bench worker-count drift guard must be
 # able to fail this target.
 bench-compare:
-	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary|RecoverLargeBinary' \
+	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary|RecoverLargeBinary|ServeWarmHash' \
 		-benchtime=3x -benchmem -count=1 . > bench-compare.tmp
 	$(GO) run ./cmd/benchjson -commit $(SHA) < bench-compare.tmp > BENCH_$(SHA).json
 	@rm -f bench-compare.tmp
@@ -75,6 +75,16 @@ profile:
 	@echo "  $(GO) tool pprof -top -nodecount=20 bside.test cpu.prof"
 	@echo "  $(GO) tool pprof -top -nodecount=20 -sample_index=alloc_objects bside.test mem.prof"
 	@echo "  $(GO) tool pprof -http=:8080 bside.test cpu.prof   # flame graph"
+
+# End-to-end smoke test of the resident service: boots the real
+# `bside serve` daemon over TCP, uploads a binary, replays it by
+# content hash, checks the metrics surface, and verifies graceful
+# SIGTERM drain. Builds the binary first so the test exercises exactly
+# what ships.
+serve-smoke:
+	$(GO) build -o bside.smoke ./cmd/bside
+	$(GO) run ./cmd/servesmoke -bside ./bside.smoke
+	@rm -f bside.smoke
 
 # Randomized corpus fuzzing: soundness + invariance + baseline-sanity
 # oracle over a seed range, JSON verdict lines on stdout, non-zero exit

@@ -48,6 +48,7 @@
 package bside
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -136,6 +137,20 @@ type Analyzer struct {
 	cacheErr error
 }
 
+// NewAnalyzerErr builds an Analyzer and surfaces configuration errors
+// eagerly: an unusable CacheDir fails here, at construction, instead of
+// on the first analysis call. Long-lived callers (a resident service,
+// anything wiring the analyzer into a health check) should prefer this
+// over NewAnalyzer, whose deferred error reporting exists for the
+// one-shot CLI ergonomics of the original API.
+func NewAnalyzerErr(opts Options) (*Analyzer, error) {
+	a := NewAnalyzer(opts)
+	if a.cacheErr != nil {
+		return nil, a.cacheErr
+	}
+	return a, nil
+}
+
 // NewAnalyzer builds an Analyzer.
 func NewAnalyzer(opts Options) *Analyzer {
 	dir := opts.LibraryDir
@@ -167,21 +182,31 @@ func NewAnalyzer(opts Options) *Analyzer {
 // is shared by every Analyzer in the process — so they measure the
 // fleet's duplicate-function ratio, not one analyzer's.
 type CacheStats struct {
-	Hits   uint64
-	Misses uint64
-	Stores uint64
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Stores uint64 `json:"stores"`
 	// MemoryHits is the subset of Hits served from the in-process
 	// memory tier, without a file read or an envelope decode.
-	MemoryHits uint64
+	MemoryHits uint64 `json:"memory_hits"`
 	// StoredBytes counts envelope bytes written to the disk tier.
-	StoredBytes uint64
+	StoredBytes uint64 `json:"stored_bytes"`
+	// MemoryEvictions counts entries pushed out of the memory tier by
+	// its LRU size bounds. Like the FuncMemo fields it is process-wide:
+	// the tier is shared by every Analyzer in the process. A resident
+	// service whose eviction rate tracks its hit rate has a memory tier
+	// sized below its working set.
+	MemoryEvictions uint64 `json:"memory_evictions"`
+	// MemoryEntries and MemoryBytes are point-in-time gauges of the
+	// process-wide memory tier's population and payload footprint.
+	MemoryEntries int   `json:"memory_entries"`
+	MemoryBytes   int64 `json:"memory_bytes"`
 	// FuncMemoHits counts per-function summaries served without
 	// re-analysis (from memory or the funcsum store partition).
-	FuncMemoHits uint64
+	FuncMemoHits uint64 `json:"func_memo_hits"`
 	// FuncMemoMisses counts function units that ran the real analysis.
-	FuncMemoMisses uint64
+	FuncMemoMisses uint64 `json:"func_memo_misses"`
 	// FuncMemoEntries is the current in-memory memo population.
-	FuncMemoEntries int64
+	FuncMemoEntries int64 `json:"func_memo_entries"`
 }
 
 // CacheStats reports the analyzer's cache traffic so far.
@@ -191,6 +216,8 @@ func (a *Analyzer) CacheStats() CacheStats {
 		st := a.cache.Stats()
 		out.Hits, out.Misses, out.Stores = st.Hits, st.Misses, st.Stores
 		out.MemoryHits, out.StoredBytes = st.MemoryHits, st.StoredBytes
+		out.MemoryEvictions = st.MemoryEvictions
+		out.MemoryEntries, out.MemoryBytes = st.MemoryEntries, st.MemoryBytes
 	}
 	ms := ident.ProcessMemo().Stats()
 	out.FuncMemoHits, out.FuncMemoMisses, out.FuncMemoEntries = ms.Hits, ms.Misses, ms.Entries
@@ -259,6 +286,20 @@ type Analysis struct {
 
 // AnalyzeFile analyzes the ELF executable at path.
 func (a *Analyzer) AnalyzeFile(path string) (*Analysis, error) {
+	return a.AnalyzeFileContext(context.Background(), path)
+}
+
+// AnalyzeFileContext is AnalyzeFile bounded by a context. Cancellation
+// is honored at every pipeline stage boundary and — through the
+// symbolic-execution budget's cancellation channel — mid-search inside
+// the identification stages; the context's deadline tightens the
+// per-binary wall clock when it is earlier than Options.Timeout. A
+// context-aborted analysis fails with an error matching
+// errors.Is(err, ctx.Err()). Shared-library interface computation
+// triggered on the way is deliberately NOT canceled with the request:
+// it is singleflighted, cached work that concurrent and future analyses
+// reuse.
+func (a *Analyzer) AnalyzeFileContext(ctx context.Context, path string) (*Analysis, error) {
 	if a.cacheErr != nil {
 		return nil, a.cacheErr
 	}
@@ -266,7 +307,7 @@ func (a *Analyzer) AnalyzeFile(path string) (*Analysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("elff: %w", err)
 	}
-	res, err := a.analyzeData(data, path)
+	res, err := a.analyzeData(ctx, data, path)
 	if err != nil {
 		return nil, err
 	}
@@ -276,10 +317,42 @@ func (a *Analyzer) AnalyzeFile(path string) (*Analysis, error) {
 
 // AnalyzeBytes analyzes an in-memory ELF image.
 func (a *Analyzer) AnalyzeBytes(data []byte) (*Analysis, error) {
+	return a.AnalyzeBytesContext(context.Background(), data)
+}
+
+// AnalyzeBytesContext is AnalyzeBytes bounded by a context (see
+// AnalyzeFileContext for the cancellation semantics).
+func (a *Analyzer) AnalyzeBytesContext(ctx context.Context, data []byte) (*Analysis, error) {
 	if a.cacheErr != nil {
 		return nil, a.cacheErr
 	}
-	return a.analyzeData(data, "")
+	return a.analyzeData(ctx, data, "")
+}
+
+// Lookup probes the persistent cache for an analysis by image content
+// hash alone — no image bytes, no ELF parse. This is the runtime half
+// of the paper's decoupled design as a resident service sees it: the
+// expensive phase ran somewhere, sometime, and a deployment-time
+// caller holding only the binary's SHA-256 retrieves the stored result.
+// The stored entry is validated exactly as strictly as a byte-level
+// probe: the analyzer configuration must match and every dependency in
+// the stored closure must still hash to the recorded value. Misses
+// (no cache configured, absent entry, stale fingerprint) return false.
+func (a *Analyzer) Lookup(hash string) (*Analysis, bool) {
+	if a.cache == nil || a.cacheErr != nil || len(a.modules) != 0 {
+		return nil, false
+	}
+	sum, ok := a.inner.CachedSummaryByHash(hash)
+	if !ok {
+		return nil, false
+	}
+	return &Analysis{
+		Syscalls: sum.Syscalls,
+		FailOpen: sum.FailOpen,
+		Wrappers: sum.Wrappers,
+		Imports:  sum.Imports,
+		Cached:   true,
+	}, true
 }
 
 // analyzeData is the shared front of the byte-level entry points. With
@@ -288,7 +361,10 @@ func (a *Analyzer) AnalyzeBytes(data []byte) (*Analysis, error) {
 // therefore skips the full ELF parse entirely, not just the analysis.
 // Only on a miss — or when the identity parse cannot make sense of the
 // image — is the binary fully parsed and analyzed.
-func (a *Analyzer) analyzeData(data []byte, path string) (*Analysis, error) {
+func (a *Analyzer) analyzeData(ctx context.Context, data []byte, path string) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("bside: analysis aborted: %w", err)
+	}
 	probed := false
 	hash := ""
 	if a.cache != nil && len(a.modules) == 0 {
@@ -317,7 +393,24 @@ func (a *Analyzer) analyzeData(data []byte, path string) (*Analysis, error) {
 		return nil, err
 	}
 	bin.Path = path
-	return a.analyze(bin, probed)
+	res, err := a.analyze(ctx, bin, probed)
+	if err != nil {
+		return nil, mapCtxErr(ctx, err)
+	}
+	return res, nil
+}
+
+// mapCtxErr folds a context abort into the analysis error: a canceled
+// request surfaces as an error matching errors.Is(err, ctx.Err()) —
+// what callers branch on — while keeping the analysis-level failure
+// (typically the budget's timeout error) in the message. An analysis
+// that failed on its own merits under a live context passes through
+// untouched.
+func mapCtxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("bside: analysis aborted: %w (%v)", cerr, err)
+	}
+	return err
 }
 
 // BatchOptions tunes AnalyzeAll.
@@ -341,6 +434,16 @@ type BatchOptions struct {
 // corresponding result's Err field, with the returned error reserved
 // for systemic failures (an unusable cache directory).
 func (a *Analyzer) AnalyzeAll(paths []string, opts BatchOptions) ([]*Analysis, error) {
+	return a.AnalyzeAllContext(context.Background(), paths, opts)
+}
+
+// AnalyzeAllContext is AnalyzeAll bounded by a context. Cancellation is
+// honored between binaries — no new analysis starts once ctx is done —
+// and during them (each worker runs AnalyzeFileContext, so in-flight
+// analyses abort mid-search). On cancellation the returned slice is
+// still parallel to paths: binaries that never ran carry the context's
+// error in their Err field, and the batch-level error is ctx.Err().
+func (a *Analyzer) AnalyzeAllContext(ctx context.Context, paths []string, opts BatchOptions) ([]*Analysis, error) {
 	if a.cacheErr != nil {
 		return nil, a.cacheErr
 	}
@@ -360,7 +463,7 @@ func (a *Analyzer) AnalyzeAll(paths []string, opts BatchOptions) ([]*Analysis, e
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				res, err := a.AnalyzeFile(paths[i])
+				res, err := a.AnalyzeFileContext(ctx, paths[i])
 				if err != nil {
 					res = &Analysis{Path: paths[i], Err: err}
 				}
@@ -373,18 +476,31 @@ func (a *Analyzer) AnalyzeAll(paths []string, opts BatchOptions) ([]*Analysis, e
 			}
 		}()
 	}
+dispatch:
 	for i := range paths {
-		idxCh <- i
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idxCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i, res := range results {
+			if res == nil {
+				results[i] = &Analysis{Path: paths[i], Err: fmt.Errorf("bside: batch aborted: %w", err)}
+			}
+		}
+		return results, err
+	}
 	return results, nil
 }
 
 // analyze runs the cache-aware analysis of a parsed binary. probed
 // says the caller already probed the store for this image (and
 // missed), so the cache path goes straight to compute-and-persist.
-func (a *Analyzer) analyze(bin *elff.Binary, probed bool) (*Analysis, error) {
+func (a *Analyzer) analyze(ctx context.Context, bin *elff.Binary, probed bool) (*Analysis, error) {
 	if a.cacheErr != nil {
 		return nil, a.cacheErr
 	}
@@ -392,16 +508,18 @@ func (a *Analyzer) analyze(bin *elff.Binary, probed bool) (*Analysis, error) {
 	if a.cache != nil && len(a.modules) == 0 {
 		// Cache-aware path: a hit skips all decoding; a miss computes,
 		// persists the summary, and keeps the full report.
-		var (
-			sum *shared.Summary
-			rep *shared.ProgramReport
-			err error
-		)
-		if probed {
-			sum, rep, err = a.inner.ComputeSummary(bin)
-		} else {
-			sum, rep, err = a.inner.ProgramSummary(bin)
+		if !probed {
+			if cached, ok := a.inner.CachedSummary(bin.Hash, bin.Needed); ok {
+				return &Analysis{
+					Syscalls: cached.Syscalls,
+					FailOpen: cached.FailOpen,
+					Wrappers: cached.Wrappers,
+					Imports:  cached.Imports,
+					Cached:   true,
+				}, nil
+			}
 		}
+		sum, rep, err := a.inner.ComputeSummaryCtx(ctx, bin)
 		if err != nil {
 			return nil, err
 		}
@@ -418,7 +536,7 @@ func (a *Analyzer) analyze(bin *elff.Binary, probed bool) (*Analysis, error) {
 		}
 		return out, nil
 	}
-	rep, err := a.inner.Program(bin)
+	rep, err := a.inner.ProgramCtx(ctx, bin)
 	if err != nil {
 		return nil, err
 	}
@@ -436,7 +554,7 @@ func (a *Analyzer) analyze(bin *elff.Binary, probed bool) (*Analysis, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bside: module %s: %w", path, err)
 		}
-		set, failOpen, err := a.inner.Module(mod, filepath.Base(path), bin)
+		set, failOpen, err := a.inner.ModuleCtx(ctx, mod, filepath.Base(path), bin)
 		if err != nil {
 			return nil, fmt.Errorf("bside: module %s: %w", path, err)
 		}

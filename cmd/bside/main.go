@@ -7,6 +7,7 @@
 //	bside [-libs dir] [-json] [-phases] [-policy] [-workers n] [-timings] <binary>
 //	bside batch [-libs dir] [-cache dir] [-jobs n] [-workers n] [-max-insns n] <binary>...
 //	bside fuzz [-seeds n] [-start s] [-repro dir]
+//	bside serve [-addr host:port] [-libs dir] [-cache dir] [-inflight n] [-timeout d]
 //
 // The batch form analyzes many binaries concurrently over a shared
 // interface cache, emitting one JSON object per binary (JSON lines) on
@@ -22,6 +23,12 @@
 // result invariance and baseline sanity, emitting one JSON verdict
 // line per seed and exiting non-zero on any violation. With -repro,
 // failing seeds are shrunk to minimal reproducer files.
+//
+// The serve form runs the resident analysis service (internal/serve):
+// one warm analyzer behind POST /analyze (upload or ?hash= cache
+// lookup), streaming POST /batch, GET /metrics and GET /healthz, with
+// admission control, per-request deadlines, same-image single-flight
+// dedup, and graceful drain on SIGTERM.
 //
 // -workers sets the intra-binary worker pool: how many independent
 // units (wrapper-detection functions, identification targets) of one
@@ -65,6 +72,8 @@ func main() {
 			sub = runBatch
 		case "fuzz":
 			sub = runFuzz
+		case "serve":
+			sub = runServe
 		}
 		if sub != nil {
 			if err := sub(os.Args[2:], os.Stdout, os.Stderr); err != nil {

@@ -1,0 +1,211 @@
+// Command servesmoke is the CI smoke test for `bside serve`: it boots
+// the real daemon on a real TCP socket, uploads a synthesized binary,
+// replays it by content hash alone, checks the metrics surface, and
+// verifies graceful SIGTERM drain — the full operator path, end to end,
+// in one process tree.
+//
+// Usage:
+//
+//	servesmoke -bside path/to/bside
+//
+// Exits 0 when every step passed, 1 with a diagnostic otherwise.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"bside/internal/corpus"
+	"bside/internal/elff"
+)
+
+func main() {
+	bin := flag.String("bside", "", "path to the bside binary under test")
+	flag.Parse()
+	if err := run(*bin); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: ok")
+}
+
+// daemonLog tails the daemon's stderr: the first line announces the
+// bound address (the daemon listens on :0, so only it knows the port),
+// the rest is kept for the post-mortem drain check.
+type daemonLog struct {
+	addr chan string
+	mu   sync.Mutex
+	rest []string
+	done chan struct{}
+}
+
+func tailStderr(r io.Reader) *daemonLog {
+	l := &daemonLog{addr: make(chan string, 1), done: make(chan struct{})}
+	go func() {
+		defer close(l.done)
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "bside serve: listening on "); ok {
+				select {
+				case l.addr <- rest:
+				default:
+				}
+				continue
+			}
+			l.mu.Lock()
+			l.rest = append(l.rest, line)
+			l.mu.Unlock()
+		}
+	}()
+	return l
+}
+
+func (l *daemonLog) contains(want string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, line := range l.rest {
+		if strings.Contains(line, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(bsidePath string) error {
+	if bsidePath == "" {
+		return errors.New("-bside is required")
+	}
+	dir, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// A self-contained static workload: no library directory to ship.
+	prog, err := corpus.BuildProgram(corpus.Profile{
+		Name: "smoke", Kind: elff.KindStatic,
+		HotDirect: 8, HotWrapper: 2, HotStack: 1, Handlers: 1,
+		ColdDirect: 4, ColdWrapper: 1, Filler: 10, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	img, err := elff.Write(prog.Spec())
+	if err != nil {
+		return err
+	}
+
+	cmd := exec.Command(bsidePath, "serve",
+		"-addr", "127.0.0.1:0", "-cache", filepath.Join(dir, "cache"))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	log := tailStderr(stderr)
+	defer cmd.Process.Kill()
+
+	var addr string
+	select {
+	case addr = <-log.addr:
+	case <-time.After(10 * time.Second):
+		return errors.New("daemon did not announce its address within 10s")
+	}
+	base := "http://" + addr
+
+	// Cold upload: the pipeline runs and the result is persisted.
+	up, err := http.Post(base+"/analyze", "application/octet-stream", bytes.NewReader(img))
+	if err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	cold, _ := io.ReadAll(up.Body)
+	up.Body.Close()
+	if up.StatusCode != http.StatusOK {
+		return fmt.Errorf("upload: status %d: %s", up.StatusCode, cold)
+	}
+	if got := up.Header.Get("X-Bside-Cached"); got != "false" {
+		return fmt.Errorf("upload: X-Bside-Cached = %q, want false", got)
+	}
+
+	// Deployment-time path: the bare content hash, no image bytes.
+	warm, err := http.Post(base+"/analyze?hash="+prog.Hash, "text/plain", nil)
+	if err != nil {
+		return fmt.Errorf("hash lookup: %w", err)
+	}
+	warmBody, _ := io.ReadAll(warm.Body)
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		return fmt.Errorf("hash lookup: status %d: %s", warm.StatusCode, warmBody)
+	}
+	if got := warm.Header.Get("X-Bside-Cached"); got != "true" {
+		return fmt.Errorf("hash lookup: X-Bside-Cached = %q, want true", got)
+	}
+	if !bytes.Equal(cold, warmBody) {
+		return fmt.Errorf("hash lookup diverged from the upload:\n%s\nvs\n%s", cold, warmBody)
+	}
+
+	// The metrics surface must reflect both requests.
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	var m struct {
+		Serve struct {
+			Requests   uint64 `json:"requests"`
+			Analyses   uint64 `json:"analyses"`
+			Lookups    uint64 `json:"lookups"`
+			LookupHits uint64 `json:"lookup_hits"`
+		} `json:"serve"`
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Stores uint64 `json:"stores"`
+		} `json:"cache"`
+	}
+	err = json.NewDecoder(mr.Body).Decode(&m)
+	mr.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics: decode: %w", err)
+	}
+	if m.Serve.Analyses != 1 || m.Serve.LookupHits != 1 {
+		return fmt.Errorf("metrics: analyses=%d lookup_hits=%d, want 1/1", m.Serve.Analyses, m.Serve.LookupHits)
+	}
+	if m.Cache.Stores == 0 || m.Cache.Hits == 0 {
+		return fmt.Errorf("metrics: cache stores=%d hits=%d, want both > 0", m.Cache.Stores, m.Cache.Hits)
+	}
+
+	// SIGTERM must drain: clean exit, with both drain markers logged.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+	select {
+	case err := <-waitCh:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return errors.New("daemon did not exit within 15s of SIGTERM")
+	}
+	<-log.done
+	if !log.contains("draining") || !log.contains("drained") {
+		return fmt.Errorf("drain markers missing from daemon log: %q", log.rest)
+	}
+	return nil
+}

@@ -43,9 +43,19 @@
 // DisableMemoryTier opts a handle out — the fuzzer's
 // frontend-invariance oracle holds memory-tier-on and -off analyses to
 // byte-identical results.
+//
+// The tier is a size-bounded LRU: both the entry count and the total
+// payload bytes are capped (SetMemoryTierLimits), and inserting past
+// either cap evicts from the cold end. A resident service can therefore
+// hold a process open for months without the tier growing with the
+// fleet's distinct-binary population; eviction only ever costs the next
+// identical load a disk read, never a recompute of anything that is
+// still on disk. Eviction traffic is counted (Stats.MemoryEvictions)
+// so an operator can see when the tier is sized below the working set.
 package cache
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -64,23 +74,140 @@ const (
 	legacyVersion = 1
 )
 
-// maxMemEntries bounds the process-wide memory tier. Entries are
-// content-addressed, so refusing to add one never changes results —
-// only the speed of the next identical load.
-const maxMemEntries = 1 << 16
-
-// memTier is the process-wide memory tier: full entry key
-// (dir\x00kind\x00key) -> memEntry. It is shared by every Store handle
-// so a per-batch analyzer recreated over the same directory keeps its
-// warm entries.
-var (
-	memTier     sync.Map
-	memTierSize atomic.Int64
+// Default memory-tier bounds. Entries are content-addressed, so
+// evicting one never changes results — only the speed of the next
+// identical load (a disk re-read instead of a memory hit).
+const (
+	defaultMemEntries = 1 << 16
+	defaultMemBytes   = 256 << 20
 )
 
+// memTier is the process-wide memory tier: an LRU over full entry keys
+// (dir\x00kind\x00key). It is shared by every Store handle so a
+// per-batch analyzer recreated over the same directory keeps its warm
+// entries.
+var memTier = newLRUTier(defaultMemEntries, defaultMemBytes)
+
 type memEntry struct {
+	key     string
 	conf    string
 	payload []byte
+}
+
+// lruTier is the size-bounded LRU behind the memory tier: a map for
+// lookup, an intrusive recency list for eviction order, and byte
+// accounting over payload sizes. The single mutex is not a contention
+// point in practice — every hit also pays a stat(2) to validate the
+// durable entry, which dwarfs the critical section.
+type lruTier struct {
+	mu         sync.Mutex
+	entries    map[string]*list.Element // -> *memEntry elements of order
+	order      *list.List               // front = most recently used
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+	evictions  atomic.Uint64
+}
+
+func newLRUTier(maxEntries int, maxBytes int64) *lruTier {
+	return &lruTier{
+		entries:    make(map[string]*list.Element),
+		order:      list.New(),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
+}
+
+// get returns the entry for key, marking it most recently used.
+func (t *lruTier) get(key string) (memEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.entries[key]
+	if !ok {
+		return memEntry{}, false
+	}
+	t.order.MoveToFront(el)
+	return *el.Value.(*memEntry), true
+}
+
+// put inserts or replaces the entry for ent.key and evicts from the
+// cold end until both bounds hold again.
+func (t *lruTier) put(ent memEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.entries[ent.key]; ok {
+		old := el.Value.(*memEntry)
+		t.bytes += int64(len(ent.payload)) - int64(len(old.payload))
+		*old = ent
+		t.order.MoveToFront(el)
+	} else {
+		t.entries[ent.key] = t.order.PushFront(&ent)
+		t.bytes += int64(len(ent.payload))
+	}
+	for t.order.Len() > t.maxEntries || t.bytes > t.maxBytes {
+		back := t.order.Back()
+		if back == nil {
+			break
+		}
+		t.removeLocked(back)
+		t.evictions.Add(1)
+	}
+}
+
+// del drops the entry for key if present.
+func (t *lruTier) del(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.entries[key]; ok {
+		t.removeLocked(el)
+	}
+}
+
+func (t *lruTier) removeLocked(el *list.Element) {
+	ent := el.Value.(*memEntry)
+	t.order.Remove(el)
+	delete(t.entries, ent.key)
+	t.bytes -= int64(len(ent.payload))
+}
+
+// snapshot returns the tier's gauges: entry count and payload bytes.
+func (t *lruTier) snapshot() (entries int, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.order.Len(), t.bytes
+}
+
+// setLimits installs new bounds (non-positive values keep the current
+// ones), evicting immediately if the tier is now over, and returns the
+// previous bounds. Process-wide: the tier is shared by every Store.
+func (t *lruTier) setLimits(maxEntries int, maxBytes int64) (prevEntries int, prevBytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prevEntries, prevBytes = t.maxEntries, t.maxBytes
+	if maxEntries > 0 {
+		t.maxEntries = maxEntries
+	}
+	if maxBytes > 0 {
+		t.maxBytes = maxBytes
+	}
+	for t.order.Len() > t.maxEntries || t.bytes > t.maxBytes {
+		back := t.order.Back()
+		if back == nil {
+			break
+		}
+		t.removeLocked(back)
+		t.evictions.Add(1)
+	}
+	return prevEntries, prevBytes
+}
+
+// SetMemoryTierLimits bounds the process-wide memory tier by entry
+// count and total payload bytes (non-positive values keep the current
+// bound) and returns the previous bounds. A resident service sizes the
+// tier to its memory budget here; eviction is recorded in every
+// store's Stats.MemoryEvictions.
+func SetMemoryTierLimits(maxEntries int, maxBytes int64) (prevEntries int, prevBytes int64) {
+	return memTier.setLimits(maxEntries, maxBytes)
 }
 
 // Store is a content-addressed cache directory plus its slice of the
@@ -111,6 +238,15 @@ type Stats struct {
 	// StoredBytes counts the envelope bytes written to disk — the
 	// footprint knob the compact codec shrinks.
 	StoredBytes uint64
+	// MemoryEvictions counts entries pushed out of the memory tier by
+	// its LRU bounds. Process-wide (the tier is shared by every Store in
+	// the process), monotonic. A resident service whose eviction rate
+	// tracks its hit rate has a tier sized below its working set.
+	MemoryEvictions uint64
+	// MemoryEntries and MemoryBytes are point-in-time gauges of the
+	// process-wide memory tier's population and payload footprint.
+	MemoryEntries int
+	MemoryBytes   int64
 }
 
 // Open returns a store rooted at dir, creating it if needed.
@@ -137,14 +273,20 @@ func (s *Store) DisableMemoryTier() *Store {
 	return s
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters. The memory-tier
+// fields (MemoryEvictions, MemoryEntries, MemoryBytes) describe the
+// process-wide tier, not this store's slice of it.
 func (s *Store) Stats() Stats {
+	entries, bytes := memTier.snapshot()
 	return Stats{
-		Hits:        s.hits.Load(),
-		MemoryHits:  s.memoryHits.Load(),
-		Misses:      s.misses.Load(),
-		Stores:      s.stores.Load(),
-		StoredBytes: s.storedBytes.Load(),
+		Hits:            s.hits.Load(),
+		MemoryHits:      s.memoryHits.Load(),
+		Misses:          s.misses.Load(),
+		Stores:          s.stores.Load(),
+		StoredBytes:     s.storedBytes.Load(),
+		MemoryEvictions: memTier.evictions.Load(),
+		MemoryEntries:   entries,
+		MemoryBytes:     bytes,
 	}
 }
 
@@ -169,18 +311,35 @@ func (s *Store) memKey(kind, key string) string {
 // A memory-tier hit skips the file read and envelope validation — the
 // payload was validated when it was promoted.
 func (s *Store) Load(kind, key, conf string, out any) bool {
+	_, ok := s.load(kind, key, func(got string) bool { return got == conf }, out)
+	return ok
+}
+
+// LoadAny decodes the entry for (kind, key) whatever fingerprint it was
+// stored under and returns that fingerprint. This is the probe behind
+// hash-only lookups (a resident service's `?hash=` path), where the
+// caller holds no DT_NEEDED list to derive the fingerprint from; the
+// caller owns validating the returned fingerprint — serving an entry
+// without checking it would silently cross analyzer configurations.
+func (s *Store) LoadAny(kind, key string, out any) (string, bool) {
+	return s.load(kind, key, func(string) bool { return true }, out)
+}
+
+// load is the shared probe: memory tier first (one stat to confirm the
+// durable entry still exists), then the disk envelope, promoting on a
+// disk hit. confOK decides which stored fingerprints are acceptable.
+func (s *Store) load(kind, key string, confOK func(string) bool, out any) (string, bool) {
 	if len(key) < 2 {
 		s.misses.Add(1)
-		return false
+		return "", false
 	}
 	useMem := !s.noMem.Load()
 	path := s.path(kind, key)
 	mk := ""
 	if useMem {
 		mk = s.memKey(kind, key)
-		if v, ok := memTier.Load(mk); ok {
-			ent := v.(memEntry)
-			if ent.conf == conf {
+		if ent, ok := memTier.get(mk); ok {
+			if confOK(ent.conf) {
 				// One stat confirms the durable entry still backs the
 				// memory copy — a deleted cache directory must make
 				// this process recompute and repopulate the disk, not
@@ -190,10 +349,10 @@ func (s *Store) Load(kind, key, conf string, out any) bool {
 					if json.Unmarshal(ent.payload, out) == nil {
 						s.memoryHits.Add(1)
 						s.hits.Add(1)
-						return true
+						return ent.conf, true
 					}
-				} else if _, loaded := memTier.LoadAndDelete(mk); loaded {
-					memTierSize.Add(-1)
+				} else {
+					memTier.del(mk)
 				}
 			}
 			// A fingerprint mismatch falls through to disk: the file
@@ -203,13 +362,13 @@ func (s *Store) Load(kind, key, conf string, out any) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
-		return false
+		return "", false
 	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		// Corrupt or truncated: ignore, the caller re-analyzes.
 		s.misses.Add(1)
-		return false
+		return "", false
 	}
 	if env.SHA256 != key {
 		// The file does not describe the image it is filed under:
@@ -217,32 +376,26 @@ func (s *Store) Load(kind, key, conf string, out any) bool {
 		// concurrent Store's rename and delete a freshly written valid
 		// entry; the caller's re-analysis overwrites it instead.
 		s.misses.Add(1)
-		return false
+		return "", false
 	}
-	if (env.Version != formatVersion && env.Version != legacyVersion) || env.Conf != conf {
+	if (env.Version != formatVersion && env.Version != legacyVersion) || !confOK(env.Conf) {
 		s.misses.Add(1)
-		return false
+		return "", false
 	}
 	if err := json.Unmarshal(env.Payload, out); err != nil {
 		s.misses.Add(1)
-		return false
+		return "", false
 	}
 	if useMem {
-		s.promote(mk, conf, env.Payload)
+		s.promote(mk, env.Conf, env.Payload)
 	}
 	s.hits.Add(1)
-	return true
+	return env.Conf, true
 }
 
 // promote installs a disk-validated payload into the memory tier.
 func (s *Store) promote(mk, conf string, payload json.RawMessage) {
-	if _, ok := memTier.Load(mk); !ok && memTierSize.Load() >= maxMemEntries {
-		return
-	}
-	ent := memEntry{conf: conf, payload: append([]byte(nil), payload...)}
-	if _, loaded := memTier.Swap(mk, ent); !loaded {
-		memTierSize.Add(1)
-	}
+	memTier.put(memEntry{key: mk, conf: conf, payload: append([]byte(nil), payload...)})
 }
 
 // Store writes the entry for (kind, key), replacing any previous one.
@@ -287,9 +440,7 @@ func (s *Store) Store(kind, key, conf string, payload any) error {
 	}
 	// Drop any memory copy: the tier is read-through, so the next Load
 	// re-validates from disk and promotes the fresh payload.
-	if _, loaded := memTier.LoadAndDelete(s.memKey(kind, key)); loaded {
-		memTierSize.Add(-1)
-	}
+	memTier.del(s.memKey(kind, key))
 	s.stores.Add(1)
 	s.storedBytes.Add(uint64(len(data)))
 	return nil

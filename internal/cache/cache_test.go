@@ -417,6 +417,141 @@ func TestMemoryTierDroppedWithDurableEntry(t *testing.T) {
 	}
 }
 
+func TestMemoryTierLRUEvictionBounds(t *testing.T) {
+	// The tier is process-wide; pin tight bounds and restore them so the
+	// other tests keep their effectively-unbounded defaults.
+	prevE, prevB := SetMemoryTierLimits(2, 1<<20)
+	defer SetMemoryTierLimits(prevE, prevB)
+
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = testKey(t, "image-lru-"+string(rune('a'+i)))
+		if err := s.Store("interface", keys[i], "conf", payload{Name: keys[i][:8]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := func(i int) {
+		t.Helper()
+		var out payload
+		if !s.Load("interface", keys[i], "conf", &out) {
+			t.Fatalf("load %d failed", i)
+		}
+	}
+	memHits := func() uint64 { return s.Stats().MemoryHits }
+
+	before := s.Stats()
+	load(0)
+	load(1)
+	load(2) // evicts 0: capacity 2, order is now [2, 1]
+	after := s.Stats()
+	if after.MemoryEntries > 2 {
+		t.Fatalf("entry bound not enforced: %d entries resident", after.MemoryEntries)
+	}
+	if after.MemoryEvictions == before.MemoryEvictions {
+		t.Fatal("over-capacity insert did not evict")
+	}
+
+	// Recency governs eviction: touch 1, insert 3 → 2 goes, 1 stays.
+	load(1)
+	load(3)
+	h := memHits()
+	load(1)
+	if memHits() != h+1 {
+		t.Fatal("recently-used entry was evicted")
+	}
+	h = memHits()
+	load(2)
+	if memHits() != h {
+		t.Fatal("cold entry survived past capacity")
+	}
+
+	// Eviction is not loss: everything still loads (from disk).
+	for i := range keys {
+		load(i)
+	}
+}
+
+func TestMemoryTierByteBound(t *testing.T) {
+	prevE, prevB := SetMemoryTierLimits(1<<16, 1)
+	defer SetMemoryTierLimits(prevE, prevB)
+
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-bytes")
+	if err := s.Store("interface", key, "conf", payload{Name: "oversized"}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	var out payload
+	if !s.Load("interface", key, "conf", &out) {
+		t.Fatal("load failed")
+	}
+	after := s.Stats()
+	// The payload exceeds the byte bound, so promotion immediately
+	// evicts it again: the tier never holds more than the cap.
+	if after.MemoryBytes > 1 {
+		t.Fatalf("byte bound not enforced: %d bytes resident", after.MemoryBytes)
+	}
+	if after.MemoryEvictions == before.MemoryEvictions {
+		t.Fatal("over-budget promotion did not evict")
+	}
+}
+
+func TestSetMemoryTierLimits(t *testing.T) {
+	prevE, prevB := SetMemoryTierLimits(123, 456)
+	defer SetMemoryTierLimits(prevE, prevB)
+	// Non-positive values keep the current bound.
+	if e, b := SetMemoryTierLimits(0, -1); e != 123 || b != 456 {
+		t.Fatalf("previous bounds: %d/%d", e, b)
+	}
+	if e, b := SetMemoryTierLimits(7, 8); e != 123 || b != 456 {
+		t.Fatalf("non-positive values must not change the bounds: %d/%d", e, b)
+	}
+}
+
+func TestLoadAnyReturnsStoredFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "image-any")
+	want := payload{Name: "whatever-conf", Syscalls: []uint64{42}}
+	if err := s.Store("program", key, "conf-opaque|deps:libc.so=abc", want); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	conf, ok := s.LoadAny("program", key, &out)
+	if !ok || conf != "conf-opaque|deps:libc.so=abc" {
+		t.Fatalf("LoadAny: ok=%v conf=%q", ok, conf)
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("LoadAny payload: %+v", out)
+	}
+	// The first LoadAny promoted the entry; the second is a memory hit
+	// and must return the same fingerprint.
+	h := s.Stats().MemoryHits
+	out = payload{}
+	conf, ok = s.LoadAny("program", key, &out)
+	if !ok || conf != "conf-opaque|deps:libc.so=abc" || !reflect.DeepEqual(out, want) {
+		t.Fatalf("warm LoadAny: ok=%v conf=%q %+v", ok, conf, out)
+	}
+	if s.Stats().MemoryHits != h+1 {
+		t.Fatal("warm LoadAny did not hit the memory tier")
+	}
+	// Absent keys miss.
+	if _, ok := s.LoadAny("program", testKey(t, "absent"), &out); ok {
+		t.Fatal("LoadAny hit on absent key")
+	}
+}
+
 func TestStoreInvalidatesMemoryTier(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir)

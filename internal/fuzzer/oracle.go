@@ -1,10 +1,14 @@
 package fuzzer
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
@@ -16,6 +20,7 @@ import (
 	"bside/internal/elff"
 	"bside/internal/emu"
 	"bside/internal/eval"
+	"bside/internal/serve"
 )
 
 // Verdict is the oracle's judgement of one case — the JSON-line record
@@ -228,6 +233,40 @@ func (o *Oracle) Check(c Case) *Verdict {
 				return nil, err
 			}
 			return results[0], results[0].Err
+		}},
+		// Service axis: the HTTP frontend must be a transparent carrier.
+		// The leg uploads the image through a real (in-process) server
+		// and requires the response body to be byte-identical to the
+		// canonical rendering of a direct library analysis — any
+		// divergence is serve-side state leaking into results.
+		leg{"serve", func() (*bside.Analysis, error) {
+			img, err := os.ReadFile(binPath)
+			if err != nil {
+				return nil, err
+			}
+			a := analyzer(1, "")
+			direct, err := a.AnalyzeBytes(img)
+			if err != nil {
+				return nil, err
+			}
+			ts := httptest.NewServer(serve.New(serve.Config{Backend: a}).Handler())
+			defer ts.Close()
+			resp, err := http.Post(ts.URL+"/analyze", "application/octet-stream", bytes.NewReader(img))
+			if err != nil {
+				return nil, err
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("serve: status %d: %s", resp.StatusCode, body)
+			}
+			if want := serve.Render(direct); !bytes.Equal(body, want) {
+				return nil, fmt.Errorf("serve: response drifted from direct analysis: %s vs %s", body, want)
+			}
+			return direct, nil
 		}},
 	)
 

@@ -20,6 +20,7 @@
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -118,6 +119,13 @@ type Config struct {
 	// stamping, never mutated. (internal/shared stamps deadlines in its
 	// own per-unit budget cloning instead and leaves this zero.)
 	Timeout time.Duration
+	// Ctx, when non-nil, is checked at every stage boundary: a canceled
+	// context fails the run with the context's error before the next
+	// stage starts. Mid-stage cancellation is the budget's job (its
+	// Cancel channel); the boundary check is what guarantees a run
+	// never *starts* a stage for an abandoned request. Nil means no
+	// boundary checks (batch CLI paths).
+	Ctx context.Context
 }
 
 // WorkersAuto asks for one worker per available CPU.
@@ -158,8 +166,17 @@ func Run(bin *elff.Binary, conf Config) (*Result, error) {
 		}
 		conf.Ident.Budget.Deadline = time.Now().Add(conf.Timeout)
 	}
+	canceled := func() error {
+		if conf.Ctx != nil {
+			return conf.Ctx.Err()
+		}
+		return nil
+	}
 	out := &Result{}
 
+	if err := canceled(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	g, err := cfg.Recover(bin, conf.CFG)
 	out.Timings.Add(StageDecode, time.Since(start))
@@ -170,6 +187,9 @@ func Run(bin *elff.Binary, conf Config) (*Result, error) {
 
 	pass := ident.Prepare(g, conf.Ident)
 
+	if err := canceled(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	err = pass.DetectWrappers()
 	out.Timings.Add(StageWrappers, time.Since(start))
@@ -177,6 +197,9 @@ func Run(bin *elff.Binary, conf Config) (*Result, error) {
 		return nil, err
 	}
 
+	if err := canceled(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	rep, err := pass.Identify()
 	out.Timings.Add(StageIdentify, time.Since(start))

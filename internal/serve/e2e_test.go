@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bside"
+	"bside/internal/corpus"
+	"bside/internal/elff"
+)
+
+// TestEndToEndUploadThenHashLookup drives the real analyzer through the
+// service: a cold upload computes and persists, then the deployment-time
+// path — a bare content hash, no image bytes at all — retrieves the
+// byte-identical result from the cache.
+func TestEndToEndUploadThenHashLookup(t *testing.T) {
+	set, err := corpus.GenerateApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	libDir := filepath.Join(dir, "libs")
+	if err := os.MkdirAll(libDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, lib := range set.Libs {
+		data, err := elff.Write(elff.Spec{
+			Kind: lib.Kind, Base: lib.Base, Entry: lib.Entry, Blob: lib.Blob,
+			CodeSize: lib.CodeSize, Exports: lib.Exports, Imports: lib.Imports,
+			Needed: lib.Needed, Symbols: lib.Symbols, HasUnwind: lib.HasUnwind,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(libDir, name), data, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app := set.Apps[5] // sqlite: the smallest
+	img, err := elff.Write(elff.Spec{
+		Kind: app.Bin.Kind, Base: app.Bin.Base, Entry: app.Bin.Entry, Blob: app.Bin.Blob,
+		CodeSize: app.Bin.CodeSize, Exports: app.Bin.Exports, Imports: app.Bin.Imports,
+		Needed: app.Bin.Needed, Symbols: app.Bin.Symbols, HasUnwind: app.Bin.HasUnwind,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := elff.ReadIdentity(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	analyzer, err := bside.NewAnalyzerErr(bside.Options{
+		LibraryDir: libDir,
+		CacheDir:   filepath.Join(dir, "cache"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Backend: analyzer, MaxInFlight: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Before anything is analyzed, the hash lookup is a clean 404.
+	miss, err := http.Post(ts.URL+"/analyze?hash="+id.Hash, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss.Body.Close()
+	if miss.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold hash lookup: status %d", miss.StatusCode)
+	}
+
+	// Cold upload: the real pipeline runs.
+	up, err := http.Post(ts.URL+"/analyze", "application/octet-stream", bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _ := io.ReadAll(up.Body)
+	up.Body.Close()
+	if up.StatusCode != http.StatusOK {
+		t.Fatalf("upload: status %d: %s", up.StatusCode, cold)
+	}
+	if up.Header.Get("X-Bside-Cached") != "false" {
+		t.Fatal("cold upload served from cache")
+	}
+
+	// Warm lookup by hash alone: same bytes, no upload, no ELF parse.
+	warm, err := http.Post(ts.URL+"/analyze?hash="+id.Hash, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmBody, _ := io.ReadAll(warm.Body)
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm hash lookup: status %d: %s", warm.StatusCode, warmBody)
+	}
+	if warm.Header.Get("X-Bside-Cached") != "true" {
+		t.Fatal("warm lookup not marked cached")
+	}
+	if !bytes.Equal(cold, warmBody) {
+		t.Fatalf("hash lookup diverged from the upload:\n%s\nvs\n%s", cold, warmBody)
+	}
+	m := s.MetricsSnapshot()
+	if m.Serve.LookupHits != 1 || m.Serve.Analyses != 1 {
+		t.Fatalf("serve metrics: %+v", m.Serve)
+	}
+	if m.Cache.Hits == 0 {
+		t.Fatalf("cache metrics show no hit: %+v", m.Cache)
+	}
+}

@@ -1,0 +1,171 @@
+package shared
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupCollapsesConcurrentCallers(t *testing.T) {
+	var g Group[int]
+	var computes atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const callers = 8
+	var wg sync.WaitGroup
+	vals := make([]int, callers)
+	shareds := make([]bool, callers)
+	errs := make([]error, callers)
+
+	// One leader enters first and blocks inside compute, so the other
+	// callers demonstrably join its flight rather than racing their own.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vals[0], shareds[0], errs[0] = g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			computes.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-started
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], shareds[i], errs[i] = g.Do(context.Background(), "k", func(context.Context) (int, error) {
+				computes.Add(1)
+				return -1, nil
+			})
+		}(i)
+	}
+	// Give the joiners a moment to park on the flight, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times", n)
+	}
+	sharedCount := 0
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil || vals[i] != 42 {
+			t.Fatalf("caller %d: val=%d err=%v", i, vals[i], errs[i])
+		}
+		if shareds[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != callers-1 {
+		t.Fatalf("shared reported by %d callers, want %d", sharedCount, callers-1)
+	}
+}
+
+func TestGroupNoMemoization(t *testing.T) {
+	var g Group[int]
+	var computes atomic.Int32
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			return int(computes.Add(1)), nil
+		})
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("call %d: v=%d shared=%v err=%v", i, v, shared, err)
+		}
+	}
+}
+
+func TestGroupLeaderCancelDoesNotPoisonWaiters(t *testing.T) {
+	var g Group[int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(leaderCtx, "k", func(cctx context.Context) (int, error) {
+			close(started)
+			select {
+			case <-release:
+				return 7, nil
+			case <-cctx.Done():
+				return 0, cctx.Err()
+			}
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	var wv int
+	var werr error
+	go func() {
+		defer close(waiterDone)
+		wv, _, werr = g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			t.Error("waiter must join the leader's flight, not compute")
+			return -1, nil
+		})
+	}()
+	// Let the waiter park, then abandon the leader: the computation must
+	// survive (the waiter still wants it) and the leader must get its own
+	// cancellation error immediately.
+	time.Sleep(10 * time.Millisecond)
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error: %v", err)
+	}
+	select {
+	case <-waiterDone:
+		t.Fatal("waiter finished before the computation was released")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(release)
+	<-waiterDone
+	if werr != nil || wv != 7 {
+		t.Fatalf("waiter: v=%d err=%v", wv, werr)
+	}
+}
+
+func TestGroupLastWaiterAbandonCancelsCompute(t *testing.T) {
+	var g Group[int]
+	started := make(chan struct{})
+	computeStopped := make(chan error, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", func(cctx context.Context) (int, error) {
+			close(started)
+			<-cctx.Done()
+			computeStopped <- cctx.Err()
+			return 0, cctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller error: %v", err)
+	}
+	select {
+	case err := <-computeStopped:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("compute context: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abandoned computation was never canceled")
+	}
+
+	// The flight is unlinked on abandonment: a fresh caller starts a new
+	// computation instead of inheriting the doomed one.
+	v, shared, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		return 9, nil
+	})
+	if err != nil || shared || v != 9 {
+		t.Fatalf("fresh call after abandonment: v=%d shared=%v err=%v", v, shared, err)
+	}
+}

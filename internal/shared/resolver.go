@@ -2,6 +2,7 @@ package shared
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -156,17 +157,38 @@ func (a *Analyzer) Interfaces() map[string]*Interface {
 // a private budget, so concurrent units cannot race on the counters,
 // and the process-wide function-summary memo (persisted through the
 // cache store when one is configured).
-func (a *Analyzer) confFor() ident.Config {
+//
+// ctx, when non-nil, rides the unit's budget: its cancellation channel
+// makes the budget exhausted mid-search, and its deadline tightens the
+// wall-clock Deadline when it is earlier than the analyzer's own
+// Timeout — the per-request deadline of a resident service mapped onto
+// the paper's per-binary analysis timeout. Library-interface
+// computation passes nil on purpose: that work is shared fleet-wide
+// (singleflighted and cached), so one abandoned request must not poison
+// the interface every waiting request needs.
+func (a *Analyzer) confFor(ctx context.Context) ident.Config {
 	conf := a.Config
 	conf.Workers = a.Workers
 	if conf.Budget != nil {
 		conf.Budget = conf.Budget.Clone()
 	}
+	var deadline time.Time
 	if a.Timeout > 0 {
+		deadline = time.Now().Add(a.Timeout)
+	}
+	var cancel <-chan struct{}
+	if ctx != nil {
+		if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
+		cancel = ctx.Done()
+	}
+	if !deadline.IsZero() || cancel != nil {
 		if conf.Budget == nil {
 			conf.Budget = symex.NewBudget()
 		}
-		conf.Budget.Deadline = time.Now().Add(a.Timeout)
+		conf.Budget.Deadline = deadline
+		conf.Budget.Cancel = cancel
 	}
 	if !a.DisableFuncMemo {
 		conf.Memo = ident.ProcessMemo()
@@ -313,7 +335,7 @@ func (a *Analyzer) computeInterface(name string) (*Interface, error) {
 	if err != nil {
 		return nil, err
 	}
-	ifc, err := AnalyzeLibrary(bin, name, a.confFor(), wrappers)
+	ifc, err := AnalyzeLibrary(bin, name, a.confFor(nil), wrappers)
 	if err != nil {
 		return nil, err
 	}
@@ -576,11 +598,25 @@ func mergeSets(a, b []uint64) []uint64 {
 // reused) first and the foreign-call stitching stage folds them in. The
 // per-stage costs are recorded on the report's Timings.
 func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
+	return a.ProgramCtx(context.Background(), bin)
+}
+
+// ProgramCtx is Program bounded by a context: cancellation rides the
+// analysis budget (stopping symbolic searches mid-flight), is checked
+// at every pipeline stage boundary, and its deadline tightens the
+// per-unit wall clock. Library-interface computation triggered on the
+// way is deliberately NOT canceled with the request — it is shared,
+// singleflighted, cacheable work that concurrent requests (and every
+// future one) reuse.
+func (a *Analyzer) ProgramCtx(ctx context.Context, bin *elff.Binary) (*ProgramReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := a.ensureInterfaces(bin.Needed); err != nil {
 		return nil, err
 	}
 
-	conf := a.confFor()
+	conf := a.confFor(ctx)
 	wrappers, err := a.importWrappersFor(bin)
 	if err != nil {
 		return nil, err
@@ -591,6 +627,7 @@ func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 		Ident:   conf,
 		CFG:     cfg.Options{MaxInsns: a.MaxCFGInsns},
 		Workers: conf.Workers,
+		Ctx:     ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -645,6 +682,12 @@ func (a *Analyzer) Program(bin *elff.Binary) (*ProgramReport, error) {
 // with the host's. That union is deterministic — it depends only on
 // the (module, host) pair, never on what else the analyzer has seen.
 func (a *Analyzer) Module(bin *elff.Binary, name string, host *elff.Binary) (syscalls []uint64, failOpen bool, err error) {
+	return a.ModuleCtx(context.Background(), bin, name, host)
+}
+
+// ModuleCtx is Module bounded by a context (see ProgramCtx for the
+// cancellation semantics).
+func (a *Analyzer) ModuleCtx(ctx context.Context, bin *elff.Binary, name string, host *elff.Binary) (syscalls []uint64, failOpen bool, err error) {
 	// A shallow copy with the widened DT_NEEDED list routes the host's
 	// closure through wrapper detection, the interface's Needed, and
 	// export-set resolution alike.
@@ -691,7 +734,7 @@ func (a *Analyzer) Module(bin *elff.Binary, name string, host *elff.Binary) (sys
 	if err != nil {
 		return nil, false, err
 	}
-	ifc, err := AnalyzeLibrary(bin, ifcName, a.confFor(), wrappers)
+	ifc, err := AnalyzeLibrary(bin, ifcName, a.confFor(ctx), wrappers)
 	if err != nil {
 		return nil, false, err
 	}

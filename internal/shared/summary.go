@@ -1,6 +1,7 @@
 package shared
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -175,11 +176,61 @@ func (a *Analyzer) CachedSummary(hash string, needed []string) (*Summary, bool) 
 	return &sum, true
 }
 
+// CachedSummaryByHash probes the program cache knowing nothing but the
+// image's content hash — the resident service's `?hash=` lookup path,
+// where no image bytes exist to parse at all. The stored entry's
+// fingerprint carries everything needed to validate it: the analyzer
+// settings must match this analyzer's, and every dependency named in
+// the stored closure is re-hashed through the library loader so a
+// changed library image is a miss here exactly as it is for
+// CachedSummary. The DT_NEEDED list is recovered from the stored
+// closure rather than an ELF parse, so a warm lookup decodes nothing.
+func (a *Analyzer) CachedSummaryByHash(hash string) (*Summary, bool) {
+	if a.Cache == nil || hash == "" {
+		return nil, false
+	}
+	var sum Summary
+	conf, ok := a.Cache.LoadAny(kindProgram, hash, &sum)
+	if !ok {
+		return nil, false
+	}
+	want := a.confFingerprint(kindProgram) + "|deps:"
+	if !strings.HasPrefix(conf, want) {
+		return nil, false
+	}
+	deps := conf[len(want):]
+	if deps != "" {
+		// Re-validate the closure: each stored name=sha256 pair must
+		// match the loader's current image, or the entry is stale.
+		names := make([]string, 0, strings.Count(deps, ",")+1)
+		for _, pair := range strings.Split(deps, ",") {
+			name, _, found := strings.Cut(pair, "=")
+			if !found {
+				return nil, false
+			}
+			names = append(names, name)
+		}
+		current, err := a.depHashes(names)
+		if err != nil || current != deps {
+			return nil, false
+		}
+	}
+	sum.Cached = true
+	sum.normalize()
+	return &sum, true
+}
+
 // ComputeSummary is the miss half of ProgramSummary: it runs the full
 // analysis and persists the summary, without re-probing the store
 // (callers that already probed via CachedSummary use it directly).
 func (a *Analyzer) ComputeSummary(bin *elff.Binary) (*Summary, *ProgramReport, error) {
-	rep, err := a.Program(bin)
+	return a.ComputeSummaryCtx(context.Background(), bin)
+}
+
+// ComputeSummaryCtx is ComputeSummary bounded by a context (see
+// ProgramCtx for the cancellation semantics).
+func (a *Analyzer) ComputeSummaryCtx(ctx context.Context, bin *elff.Binary) (*Summary, *ProgramReport, error) {
+	rep, err := a.ProgramCtx(ctx, bin)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -28,6 +28,14 @@ type Budget struct {
 	// paper's per-binary analysis timeouts.
 	Deadline time.Time
 
+	// Cancel, when non-nil, cancels the budget externally: once the
+	// channel is closed, Exhausted reports true regardless of the
+	// remaining limits. This is the hook that maps a request context's
+	// cancellation onto the symbolic-execution budget — an abandoned
+	// analysis stops at the next budget check instead of burning CPU to
+	// completion.
+	Cancel <-chan struct{}
+
 	steps atomic.Int64
 	forks atomic.Int64
 }
@@ -46,6 +54,7 @@ func (b *Budget) Clone() *Budget {
 		MaxForks:  b.MaxForks,
 		MaxVisits: b.MaxVisits,
 		Deadline:  b.Deadline,
+		Cancel:    b.Cancel,
 	}
 }
 
@@ -65,11 +74,18 @@ func (b *Budget) Steps() int { return int(b.steps.Load()) }
 // Forks returns the path splits so far.
 func (b *Budget) Forks() int { return int(b.forks.Load()) }
 
-// Exhausted reports whether any limit was hit: steps, forks, or the
-// wall-clock deadline.
+// Exhausted reports whether any limit was hit: steps, forks, the
+// wall-clock deadline, or an external cancellation.
 func (b *Budget) Exhausted() bool {
 	if int(b.steps.Load()) >= b.MaxSteps || int(b.forks.Load()) >= b.MaxForks {
 		return true
+	}
+	if b.Cancel != nil {
+		select {
+		case <-b.Cancel:
+			return true
+		default:
+		}
 	}
 	return !b.Deadline.IsZero() && time.Now().After(b.Deadline)
 }

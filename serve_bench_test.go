@@ -1,0 +1,67 @@
+package bside_test
+
+// BenchmarkServeWarmHash lives in the external test package: the serve
+// frontend imports bside, so an in-package benchmark would be an import
+// cycle. It measures the resident service's deployment-time fast path —
+// a bare ?hash= lookup against a warm cache: no upload, no ELF parse,
+// one cache read plus HTTP framing. Its allocs/op are gated by
+// `make bench-check` alongside the whole-analysis benchmarks.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"bside"
+	"bside/internal/corpus"
+	"bside/internal/elff"
+	"bside/internal/serve"
+)
+
+func BenchmarkServeWarmHash(b *testing.B) {
+	bin, err := corpus.BuildProgram(corpus.Profile{
+		Name: "servebench", Kind: elff.KindStatic,
+		HotDirect: 12, HotWrapper: 4, HotStack: 2, Handlers: 2,
+		ColdDirect: 8, ColdWrapper: 2, StackedTruth: 1,
+		Filler: 30, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := elff.Write(bin.Spec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzer, err := bside.NewAnalyzerErr(bside.Options{
+		CacheDir: filepath.Join(b.TempDir(), "cache"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := analyzer.AnalyzeBytes(img); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(serve.Config{Backend: analyzer}).Handler())
+	defer ts.Close()
+	url := ts.URL + "/analyze?hash=" + bin.Hash
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "text/plain", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if resp.Header.Get("X-Bside-Cached") != "true" {
+			b.Fatal("warm lookup not served from the cache")
+		}
+	}
+}
