@@ -4,7 +4,7 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build vet fmt-check test race bench bench-compare bench-check profile fuzz fuzz-nightly serve-smoke
+.PHONY: all build vet fmt-check test race bench bench-compare bench-check profile fuzz fuzz-nightly serve-smoke sweep-smoke
 
 all: build vet fmt-check test
 
@@ -27,13 +27,14 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent paths: the shared-interface
-# analyzer, the on-disk cache, the staged pipeline with its
-# intra-binary worker pool, the public batch API, and the fuzzing
+# analyzer, the on-disk cache (with its striped memory tier), the
+# staged pipeline with its intra-binary worker pool, the public batch
+# API, the sweep harness's producer/consumer pipeline, and the fuzzing
 # harness (whose invariance legs fan analyses across worker pools).
 race:
 	$(GO) test -race ./internal/cache/... ./internal/shared/... \
 		./internal/pipeline/... ./internal/ident/... ./internal/cfg/... \
-		./internal/fuzzer/... ./internal/serve/... .
+		./internal/fuzzer/... ./internal/serve/... ./internal/sweep/... .
 
 # One-iteration benchmark smoke run.
 bench:
@@ -48,7 +49,7 @@ bench:
 # pipe element), and the in-bench worker-count drift guard must be
 # able to fail this target.
 bench-compare:
-	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary|RecoverLargeBinary|ServeWarmHash' \
+	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary|RecoverLargeBinary|ServeWarmHash|SweepTree' \
 		-benchtime=3x -benchmem -count=1 . > bench-compare.tmp
 	$(GO) run ./cmd/benchjson -commit $(SHA) < bench-compare.tmp > BENCH_$(SHA).json
 	@rm -f bench-compare.tmp
@@ -85,6 +86,16 @@ serve-smoke:
 	$(GO) build -o bside.smoke ./cmd/bside
 	$(GO) run ./cmd/servesmoke -bside ./bside.smoke
 	@rm -f bside.smoke
+
+# End-to-end smoke test of the fleet sweep: generates a distro-shaped
+# tree with the real corpus generator, runs `bside sweep -diff` over it
+# cold (asserting zero failures and zero scanner disagreements), then
+# warm (asserting the persistent cache carried the second pass).
+sweep-smoke:
+	$(GO) build -o bside.smoke ./cmd/bside
+	$(GO) build -o bsidegen.smoke ./cmd/bsidegen
+	$(GO) run ./cmd/sweepsmoke -bside ./bside.smoke -gen ./bsidegen.smoke
+	@rm -f bside.smoke bsidegen.smoke
 
 # Randomized corpus fuzzing: soundness + invariance + baseline-sanity
 # oracle over a seed range, JSON verdict lines on stdout, non-zero exit

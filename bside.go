@@ -50,11 +50,11 @@ package bside
 import (
 	"context"
 	"fmt"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bside/internal/cache"
@@ -123,6 +123,15 @@ type Options struct {
 	// frontend-invariance axis enforces that); the switch exists for
 	// benchmarking the durable tier and for the oracle itself.
 	DisableMemoryTier bool
+	// DisableMmap forces the file frontend to read images into the
+	// heap instead of memory-mapping them. The mapped path is the
+	// default wherever the platform supports it: the decode arena and
+	// the hasher consume the kernel's page-cache view directly, so a
+	// fleet sweep never copies binaries it only reads. Results are
+	// byte-identical either way (the fuzzer's sweep-nommap invariance
+	// leg enforces that); the switch exists for odd filesystems where
+	// mapping misbehaves and for benchmarking the copying frontend.
+	DisableMmap bool
 }
 
 // Analyzer analyzes executables, caching shared-library interfaces
@@ -135,6 +144,53 @@ type Analyzer struct {
 	modules  []string
 	cache    *cache.Store
 	cacheErr error
+	noMmap   bool
+
+	// Image-frontend traffic: every ELF file this analyzer opened
+	// (programs, libraries, modules — one image-read implementation),
+	// how many of those were served zero-copy via mmap, and the total
+	// image bytes opened.
+	imageOpens  atomic.Uint64
+	imageMapped atomic.Uint64
+	imageBytes  atomic.Uint64
+}
+
+// openImage opens one ELF file through the zero-copy frontend,
+// honoring DisableMmap and counting the traffic for CacheStats.
+func (a *Analyzer) openImage(path string) (*elff.Image, error) {
+	var im *elff.Image
+	var err error
+	if a.noMmap {
+		im, err = elff.OpenCopied(path)
+	} else {
+		im, err = elff.OpenMapped(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	a.countImage(len(im.Data), im.Mapped())
+	return im, nil
+}
+
+// openBinary opens and parses one ELF file through the image layer;
+// the returned binary owns its image (ReleaseImage when done).
+func (a *Analyzer) openBinary(path string) (*elff.Binary, error) {
+	bin, err := elff.OpenBinary(path, a.noMmap)
+	if err != nil {
+		return nil, err
+	}
+	if im := bin.Image(); im != nil {
+		a.countImage(len(im.Data), im.Mapped())
+	}
+	return bin, nil
+}
+
+func (a *Analyzer) countImage(size int, mapped bool) {
+	a.imageOpens.Add(1)
+	a.imageBytes.Add(uint64(size))
+	if mapped {
+		a.imageMapped.Add(1)
+	}
 }
 
 // NewAnalyzerErr builds an Analyzer and surfaces configuration errors
@@ -153,19 +209,23 @@ func NewAnalyzerErr(opts Options) (*Analyzer, error) {
 
 // NewAnalyzer builds an Analyzer.
 func NewAnalyzer(opts Options) *Analyzer {
+	a := &Analyzer{modules: opts.Modules, noMmap: opts.DisableMmap}
 	dir := opts.LibraryDir
 	load := func(name string) (*elff.Binary, error) {
 		if dir == "" {
 			return nil, fmt.Errorf("bside: dependency %q needed but no LibraryDir configured", name)
 		}
-		return elff.ReadFile(filepath.Join(dir, name))
+		// Libraries ride the same zero-copy image path as programs;
+		// the resolver releases the mapping once the interface is
+		// computed (shared.Analyzer.trimBin).
+		return a.openBinary(filepath.Join(dir, name))
 	}
 	inner := shared.NewAnalyzer(load, ident.Config{})
 	inner.MaxCFGInsns = opts.MaxCFGInstructions
 	inner.Workers = opts.IntraWorkers
 	inner.Timeout = opts.Timeout
 	inner.DisableFuncMemo = opts.DisableFuncMemo
-	a := &Analyzer{inner: inner, modules: opts.Modules}
+	a.inner = inner
 	if opts.CacheDir != "" {
 		a.cache, a.cacheErr = cache.Open(opts.CacheDir)
 		if a.cache != nil && opts.DisableMemoryTier {
@@ -207,6 +267,15 @@ type CacheStats struct {
 	FuncMemoMisses uint64 `json:"func_memo_misses"`
 	// FuncMemoEntries is the current in-memory memo population.
 	FuncMemoEntries int64 `json:"func_memo_entries"`
+	// ImageOpens counts ELF files opened through the zero-copy image
+	// frontend — programs, libraries and modules alike, each counted
+	// once (there is one image-read implementation).
+	ImageOpens uint64 `json:"image_opens"`
+	// ImageMapped is the subset of ImageOpens served as an mmap view
+	// (zero-copy); the rest fell back to an in-heap read.
+	ImageMapped uint64 `json:"image_mapped"`
+	// ImageBytes is the total image bytes opened.
+	ImageBytes uint64 `json:"image_bytes"`
 }
 
 // CacheStats reports the analyzer's cache traffic so far.
@@ -221,6 +290,9 @@ func (a *Analyzer) CacheStats() CacheStats {
 	}
 	ms := ident.ProcessMemo().Stats()
 	out.FuncMemoHits, out.FuncMemoMisses, out.FuncMemoEntries = ms.Hits, ms.Misses, ms.Entries
+	out.ImageOpens = a.imageOpens.Load()
+	out.ImageMapped = a.imageMapped.Load()
+	out.ImageBytes = a.imageBytes.Load()
 	return out
 }
 
@@ -303,16 +375,38 @@ func (a *Analyzer) AnalyzeFileContext(ctx context.Context, path string) (*Analys
 	if a.cacheErr != nil {
 		return nil, a.cacheErr
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("elff: %w", err)
-	}
-	res, err := a.analyzeData(ctx, data, path)
+	// Zero-copy frontend: the image is mmap'd where the platform
+	// allows, and the parse aliases the loadable segment straight into
+	// the mapping — a fleet sweep never copies the binaries it reads.
+	// The mapping only lives for the duration of the analysis; before
+	// unmapping, any retained alias (the report graph's segment view)
+	// is detached, leaving the result self-contained.
+	im, err := a.openImage(path)
 	if err != nil {
 		return nil, err
 	}
+	res, rerr := a.analyzeData(ctx, im.Data, path, true)
+	if res != nil && im.Mapped() {
+		res.detachBlob()
+	}
+	if cerr := im.Close(); cerr != nil && rerr == nil {
+		rerr = fmt.Errorf("elff: %s: %w", path, cerr)
+	}
+	if rerr != nil {
+		return nil, rerr
+	}
 	res.Path = path
 	return res, nil
+}
+
+// detachBlob drops the result's aliases into a soon-to-be-unmapped
+// image. Post-analysis consumers of the retained report (Phases,
+// Disassembly) read only graph structure and binary metadata, never
+// the raw segment bytes, so clearing the blob is invisible to them.
+func (r *Analysis) detachBlob() {
+	if r.report != nil && r.report.Graph != nil && r.report.Graph.Bin != nil {
+		r.report.Graph.Bin.Blob = nil
+	}
 }
 
 // AnalyzeBytes analyzes an in-memory ELF image.
@@ -326,7 +420,9 @@ func (a *Analyzer) AnalyzeBytesContext(ctx context.Context, data []byte) (*Analy
 	if a.cacheErr != nil {
 		return nil, a.cacheErr
 	}
-	return a.analyzeData(ctx, data, "")
+	// alias=false: the caller owns data and may reuse it; the parse
+	// takes a private copy of the loadable segment.
+	return a.analyzeData(ctx, data, "", false)
 }
 
 // Lookup probes the persistent cache for an analysis by image content
@@ -360,8 +456,10 @@ func (a *Analyzer) Lookup(hash string) (*Analysis, bool) {
 // cheap content identity (hash + DT_NEEDED); a warm fleet probe
 // therefore skips the full ELF parse entirely, not just the analysis.
 // Only on a miss — or when the identity parse cannot make sense of the
-// image — is the binary fully parsed and analyzed.
-func (a *Analyzer) analyzeData(ctx context.Context, data []byte, path string) (*Analysis, error) {
+// image — is the binary fully parsed and analyzed. alias lets the
+// parse view the loadable segment in place (data outlives the
+// analysis — the file frontend's mapped image) instead of copying it.
+func (a *Analyzer) analyzeData(ctx context.Context, data []byte, path string, alias bool) (*Analysis, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("bside: analysis aborted: %w", err)
 	}
@@ -385,7 +483,13 @@ func (a *Analyzer) analyzeData(ctx context.Context, data []byte, path string) (*
 	// The probe already hashed the image; the fallthrough parse reuses
 	// that work (dependency fingerprints are memoized per analyzer, so
 	// the miss path recomputes nothing expensive either).
-	bin, err := elff.ReadPrehashed(data, hash)
+	var bin *elff.Binary
+	var err error
+	if alias {
+		bin, err = elff.ReadPrehashedAlias(data, hash)
+	} else {
+		bin, err = elff.ReadPrehashed(data, hash)
+	}
 	if err != nil {
 		if path != "" {
 			return nil, fmt.Errorf("elff: %s: %w", path, err)
@@ -550,11 +654,14 @@ func (a *Analyzer) analyze(ctx context.Context, bin *elff.Binary, probed bool) (
 	}
 	// dlopen-style modules the user declared: union their behaviour.
 	for _, path := range a.modules {
-		mod, err := elff.ReadFile(path)
+		mod, err := a.openBinary(path)
 		if err != nil {
 			return nil, fmt.Errorf("bside: module %s: %w", path, err)
 		}
 		set, failOpen, err := a.inner.ModuleCtx(ctx, mod, filepath.Base(path), bin)
+		// The module's interface is extracted; its segment bytes are
+		// not needed again.
+		_ = mod.ReleaseImage()
 		if err != nil {
 			return nil, fmt.Errorf("bside: module %s: %w", path, err)
 		}

@@ -8,6 +8,7 @@
 //	bside batch [-libs dir] [-cache dir] [-jobs n] [-workers n] [-max-insns n] <binary>...
 //	bside fuzz [-seeds n] [-start s] [-repro dir]
 //	bside serve [-addr host:port] [-libs dir] [-cache dir] [-inflight n] [-timeout d]
+//	bside sweep [-libs dir] [-cache dir] [-jobs n] [-queue n] [-diff] [-nommap] [-summary file] <root>
 //
 // The batch form analyzes many binaries concurrently over a shared
 // interface cache, emitting one JSON object per binary (JSON lines) on
@@ -23,6 +24,16 @@
 // result invariance and baseline sanity, emitting one JSON verdict
 // line per seed and exiting non-zero on any violation. With -repro,
 // failing seeds are shrunk to minimal reproducer files.
+//
+// The sweep form walks a directory tree (an unpacked container image,
+// a distro /usr partition), filters to x86-64 ELF executables and
+// shared objects by magic sniff, and streams every candidate through
+// the analyzer with bounded memory: one JSON line per binary on
+// stdout, a rolling fleet summary (throughput, warm-hit ratio, latency
+// quantiles) on stderr, and optionally the final summary as JSON via
+// -summary. With -diff every binary is also run through a cheap
+// syspeek-style linear scanner and scan-resolved syscalls missing from
+// the analysis are flagged as soundness disagreements.
 //
 // The serve form runs the resident analysis service (internal/serve):
 // one warm analyzer behind POST /analyze (upload or ?hash= cache
@@ -74,6 +85,8 @@ func main() {
 			sub = runFuzz
 		case "serve":
 			sub = runServe
+		case "sweep":
+			sub = runSweep
 		}
 		if sub != nil {
 			if err := sub(os.Args[2:], os.Stdout, os.Stderr); err != nil {

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bside/internal/corpus"
+	"bside/internal/elff"
+)
+
+func TestRunSweepStreamsTreeAndWarmsCache(t *testing.T) {
+	root := t.TempDir()
+	binDir := filepath.Join(root, "usr", "bin")
+	if err := os.MkdirAll(binDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeTestBinary(t, binDir, "alpha")
+	// A second, content-distinct binary (identical content would dedup
+	// through the content-addressed cache and read as a warm hit).
+	beta, err := corpus.BuildProgram(corpus.Profile{
+		Name: "beta", Kind: elff.KindStatic,
+		HotDirect: 4, HotWrapper: 1, Filler: 8, Seed: 54321,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.WriteFile(filepath.Join(binDir, "beta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "readme.txt"), []byte("text\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+	sumFile := filepath.Join(t.TempDir(), "summary.json")
+
+	var stdout, stderr bytes.Buffer
+	err = runSweep([]string{"-cache", cacheDir, "-diff", "-summary", sumFile, root}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("cold sweep: %v\n%s", err, stderr.String())
+	}
+
+	// Two NDJSON lines, one per ELF, each with a diff record.
+	var lines int
+	sc := bufio.NewScanner(&stdout)
+	for sc.Scan() {
+		lines++
+		var line struct {
+			Path     string   `json:"path"`
+			Syscalls []uint64 `json:"syscalls"`
+			Diff     *struct {
+				ScanSites int      `json:"scan_sites"`
+				ScanOnly  []uint64 `json:"scan_only"`
+			} `json:"diff"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Error != "" || len(line.Syscalls) == 0 {
+			t.Fatalf("unexpected result line: %q", sc.Text())
+		}
+		if line.Diff == nil || line.Diff.ScanSites == 0 || len(line.Diff.ScanOnly) != 0 {
+			t.Fatalf("diff record: %q", sc.Text())
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("NDJSON lines: %d, want 2", lines)
+	}
+	if !strings.Contains(stderr.String(), "2 analyzed") {
+		t.Fatalf("stderr summary: %q", stderr.String())
+	}
+
+	var sum struct {
+		Files    int64   `json:"files"`
+		ELFs     int64   `json:"elfs"`
+		Analyzed int64   `json:"analyzed"`
+		WarmHit  float64 `json:"warm_hit_ratio"`
+	}
+	data, err := os.ReadFile(sumFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Files != 3 || sum.ELFs != 2 || sum.Analyzed != 2 || sum.WarmHit != 0 {
+		t.Fatalf("cold summary: %+v", sum)
+	}
+
+	// Second pass over the same cache: everything warm.
+	stdout.Reset()
+	stderr.Reset()
+	if err := runSweep([]string{"-cache", cacheDir, "-summary", sumFile, root}, &stdout, &stderr); err != nil {
+		t.Fatalf("warm sweep: %v\n%s", err, stderr.String())
+	}
+	data, err = os.ReadFile(sumFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.WarmHit != 1 {
+		t.Fatalf("warm summary hit ratio: %+v", sum)
+	}
+}
+
+func TestRunSweepUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := runSweep(nil, &stdout, &stderr)
+	if err == nil || exitCode(err) != 2 {
+		t.Fatalf("missing root must be a usage error, got %v", err)
+	}
+	err = runSweep([]string{"a", "b"}, &stdout, &stderr)
+	if err == nil || exitCode(err) != 2 {
+		t.Fatalf("two roots must be a usage error, got %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+// Command sweepsmoke is the CI smoke test for `bside sweep`: it
+// materializes a distro-shaped tree with the real generator
+// (bsidegen), runs a cold differential sweep over it through the real
+// CLI, checks the NDJSON stream and the fleet summary, then sweeps
+// again and verifies the persistent cache carried the second pass —
+// the full fleet-scan operator path, end to end.
+//
+// Usage:
+//
+//	sweepsmoke -bside path/to/bside -gen path/to/bsidegen
+//
+// Exits 0 when every step passed, 1 with a diagnostic otherwise.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"bside/internal/corpus"
+	"bside/internal/elff"
+)
+
+func main() {
+	bin := flag.String("bside", "", "path to the bside binary under test")
+	gen := flag.String("gen", "", "path to the bsidegen binary")
+	flag.Parse()
+	if err := run(*bin, *gen); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("sweepsmoke: ok")
+}
+
+// summary mirrors the fields of sweep.Summary the smoke asserts on.
+type summary struct {
+	Files             int64   `json:"files"`
+	ELFs              int64   `json:"elfs"`
+	Analyzed          int64   `json:"analyzed"`
+	Failed            int64   `json:"failed"`
+	WarmHitRatio      float64 `json:"warm_hit_ratio"`
+	BinariesPerSec    float64 `json:"binaries_per_sec"`
+	ScanDisagreements int64   `json:"scan_disagreements"`
+}
+
+func run(bsidePath, genPath string) error {
+	if bsidePath == "" || genPath == "" {
+		return errors.New("-bside and -gen are required")
+	}
+	dir, err := os.MkdirTemp("", "sweepsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// The real generator builds the application corpus: binaries under
+	// corpus/apps, their shared libraries under corpus/libs.
+	corpusDir := filepath.Join(dir, "corpus")
+	if out, err := exec.Command(genPath, "-out", corpusDir, "-apps-only").CombinedOutput(); err != nil {
+		return fmt.Errorf("bsidegen: %v: %s", err, out)
+	}
+
+	// Shape the sweep root like a distro slice: the generated apps,
+	// extra static binaries in nested directories, and the non-ELF
+	// noise a real tree is mostly made of.
+	root := filepath.Join(dir, "tree")
+	if err := os.MkdirAll(filepath.Join(root, "usr"), 0o755); err != nil {
+		return err
+	}
+	if err := os.Rename(filepath.Join(corpusDir, "apps"), filepath.Join(root, "usr", "bin")); err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		prog, err := corpus.BuildProgram(corpus.Profile{
+			Name: fmt.Sprintf("tool%d", i), Kind: elff.KindStatic,
+			HotDirect: 6, HotWrapper: 2, HotStack: 1,
+			ColdDirect: 3, Filler: 12, Seed: int64(7000 + i),
+		})
+		if err != nil {
+			return err
+		}
+		sub := filepath.Join(root, "opt", fmt.Sprintf("pkg%d", i%3), "bin")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return err
+		}
+		if err := prog.WriteFile(filepath.Join(sub, fmt.Sprintf("tool%d", i))); err != nil {
+			return err
+		}
+	}
+	noise := map[string][]byte{
+		"etc/os-release":  []byte("ID=smoke\n"),
+		"usr/share/doc/a": []byte("documentation"),
+		"tiny":            {0x7f, 'E', 'L'},
+	}
+	for rel, data := range noise {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+	}
+
+	libs := filepath.Join(corpusDir, "libs")
+	cache := filepath.Join(dir, "cache")
+
+	// Cold differential sweep: every binary analyzed from scratch and
+	// cross-checked against the linear scanner.
+	coldSum, nCold, err := sweepOnce(bsidePath, root, libs, cache, filepath.Join(dir, "cold.json"))
+	if err != nil {
+		return fmt.Errorf("cold sweep: %w", err)
+	}
+	if coldSum.Failed != 0 {
+		return fmt.Errorf("cold sweep: %d failures", coldSum.Failed)
+	}
+	if coldSum.ScanDisagreements != 0 {
+		return fmt.Errorf("cold sweep: %d scan disagreements (soundness)", coldSum.ScanDisagreements)
+	}
+	if coldSum.Analyzed < 10 || int64(nCold) != coldSum.Analyzed {
+		return fmt.Errorf("cold sweep: %d NDJSON lines vs %d analyzed", nCold, coldSum.Analyzed)
+	}
+	if coldSum.Files <= coldSum.ELFs {
+		return fmt.Errorf("cold sweep: noise files were not walked (files=%d elfs=%d)", coldSum.Files, coldSum.ELFs)
+	}
+
+	// Warm pass over the same cache: the fleet must be served warm.
+	warmSum, _, err := sweepOnce(bsidePath, root, libs, cache, filepath.Join(dir, "warm.json"))
+	if err != nil {
+		return fmt.Errorf("warm sweep: %w", err)
+	}
+	if warmSum.WarmHitRatio <= 0 {
+		return fmt.Errorf("warm sweep: warm-hit ratio %v, want > 0", warmSum.WarmHitRatio)
+	}
+	if warmSum.Analyzed != coldSum.Analyzed {
+		return fmt.Errorf("warm sweep analyzed %d, cold %d", warmSum.Analyzed, coldSum.Analyzed)
+	}
+	return nil
+}
+
+// sweepOnce runs one `bside sweep -diff` and returns the summary plus
+// the count of valid NDJSON result lines.
+func sweepOnce(bsidePath, root, libs, cache, sumFile string) (*summary, int, error) {
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bsidePath, "sweep",
+		"-libs", libs, "-cache", cache, "-diff", "-summary", sumFile, root)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, 0, fmt.Errorf("%v\nstderr: %s", err, stderr.String())
+	}
+
+	lines := 0
+	sc := bufio.NewScanner(&stdout)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line struct {
+			Path     string   `json:"path"`
+			Syscalls []uint64 `json:"syscalls"`
+			Error    string   `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, 0, fmt.Errorf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Error != "" {
+			return nil, 0, fmt.Errorf("result error for %s: %s", line.Path, line.Error)
+		}
+		if len(line.Syscalls) == 0 {
+			return nil, 0, fmt.Errorf("empty syscall set for %s", line.Path)
+		}
+		lines++
+	}
+	data, err := os.ReadFile(sumFile)
+	if err != nil {
+		return nil, 0, err
+	}
+	var sum summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, 0, err
+	}
+	return &sum, lines, nil
+}

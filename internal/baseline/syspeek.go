@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"bside/internal/elff"
+	"bside/internal/x86"
+)
+
+// syspeekWindow is how many already-decoded instructions the scanner
+// backtracks through looking for the syscall number — the same
+// small-constant window the objdump-pipeline tools use.
+const syspeekWindow = 32
+
+// Syspeek is the cheap objdump-style scanner the sweep harness carries
+// as a differential baseline: one linear decode pass over the code
+// region — no CFG, no reachability, no symbolic execution — recording
+// every `syscall` instruction and backtracking through the
+// just-decoded window for an immediate load into RAX. Decode errors
+// resync by one byte, as a disassembly pipeline over `objdump -d`
+// effectively does.
+//
+// Its blind spots are exactly what B-Side exists to fix — numbers
+// carried through wrappers, stack slots, or computed registers are
+// unresolvable (counted in SitesTotal but not SitesResolved), and dead
+// code is scanned as eagerly as live code — which is what makes it a
+// useful disagreement oracle: a *resolved* syspeek number missing from
+// B-Side's set points at a soundness hole in reachability or
+// identification, while syspeek missing numbers B-Side found is the
+// expected precision gap. Works on every ELF kind (no unwind or PIC
+// requirements), so it never returns an error.
+func Syspeek(bin *elff.Binary) *Result {
+	res := &Result{}
+	values := make(map[uint64]bool)
+
+	// Ring of the last syspeekWindow decoded instructions, in decode
+	// order; window[(head-1+len)%len] is the most recent.
+	var window [syspeekWindow]x86.Inst
+	head, filled := 0, 0
+
+	code := bin.Blob
+	if bin.CodeSize < uint64(len(code)) {
+		code = code[:bin.CodeSize]
+	}
+	addr := bin.Base
+	for off := 0; off < len(code); {
+		in, err := x86.Decode(code[off:], addr)
+		if err != nil {
+			// Resync: skip one byte, like objdump riding over data
+			// interleaved with code.
+			off++
+			addr++
+			continue
+		}
+		if in.Op == x86.OpSyscall {
+			res.SitesTotal++
+			if v, ok := syspeekBacktrack(&window, head, filled); ok {
+				values[v] = true
+				res.SitesResolved++
+			}
+		}
+		window[head] = in
+		head = (head + 1) % syspeekWindow
+		if filled < syspeekWindow {
+			filled++
+		}
+		off += int(in.Len)
+		addr += uint64(in.Len)
+	}
+
+	res.Syscalls = sortedSet(values)
+	return res
+}
+
+// syspeekBacktrack walks the decoded window backwards from the most
+// recent instruction, looking for the nearest write to RAX: an
+// immediate mov resolves the site, an xor-self resolves it to 0, and
+// any other producer — a register move, a memory load, a call — is
+// beyond a linear scanner's reach.
+func syspeekBacktrack(window *[syspeekWindow]x86.Inst, head, filled int) (uint64, bool) {
+	for i := 0; i < filled; i++ {
+		in := window[(head-1-i+2*syspeekWindow)%syspeekWindow]
+		switch in.Op {
+		case x86.OpMov:
+			if in.Dst.Kind != x86.KindReg || in.Dst.Reg != x86.RAX {
+				continue
+			}
+			if in.Src.Kind == x86.KindImm {
+				return uint64(in.Src.Imm), true
+			}
+			return 0, false
+		case x86.OpXor:
+			if in.Dst.Kind == x86.KindReg && in.Dst.Reg == x86.RAX {
+				if in.Src.Kind == x86.KindReg && in.Src.Reg == x86.RAX {
+					return 0, true
+				}
+				return 0, false
+			}
+		default:
+			if writesRegister(in, x86.RAX) {
+				return 0, false
+			}
+		}
+	}
+	return 0, false
+}

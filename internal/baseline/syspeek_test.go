@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+
+	"bside/internal/asm"
+	"bside/internal/elff"
+	"bside/internal/testbin"
+	"bside/internal/x86"
+)
+
+func TestSyspeekResolvesImmediateSites(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.XorRegReg(x86.RAX, x86.RAX) // resolves to read (0)
+		b.Syscall()
+		b.Ret()
+	}, nil)
+	res := Syspeek(bin)
+	if res.SitesTotal != 2 || res.SitesResolved != 2 {
+		t.Fatalf("sites: %d/%d, want 2/2", res.SitesResolved, res.SitesTotal)
+	}
+	if !reflect.DeepEqual(res.Syscalls, []uint64{0, 60}) {
+		t.Fatalf("syscalls: %v", res.Syscalls)
+	}
+	if res.FellBack {
+		t.Fatal("syspeek has no fallback set")
+	}
+}
+
+func TestSyspeekCannotResolveIndirectNumbers(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		// Number carried through another register: a linear scanner
+		// sees the mov but cannot know RDI's value.
+		b.MovRegReg(x86.RAX, x86.RDI)
+		b.Syscall()
+		b.Ret()
+	}, nil)
+	res := Syspeek(bin)
+	if res.SitesTotal != 1 || res.SitesResolved != 0 {
+		t.Fatalf("sites: %d/%d, want 0/1", res.SitesResolved, res.SitesTotal)
+	}
+	if len(res.Syscalls) != 0 {
+		t.Fatalf("unresolved site contributed values: %v", res.Syscalls)
+	}
+}
+
+func TestSyspeekScansDeadCode(t *testing.T) {
+	// The scanner has no reachability: a syscall site in a function
+	// nothing calls is reported all the same. (This is the documented
+	// precision gap the sweep's -diff mode must tolerate in reverse —
+	// and why generated corpora keep dead code syscall-free.)
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Func("never_called")
+		b.MovRegImm32(x86.RAX, 39)
+		b.Syscall()
+		b.Ret()
+	}, nil)
+	res := Syspeek(bin)
+	if !reflect.DeepEqual(res.Syscalls, []uint64{39, 60}) {
+		t.Fatalf("syscalls: %v, want [39 60]", res.Syscalls)
+	}
+}
+
+func TestSyspeekResyncsOverData(t *testing.T) {
+	// Garbage bytes between functions (jump tables, padding) must not
+	// derail the scan: decode errors resync one byte at a time.
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.Syscall()
+		b.Ret()
+		b.Raw(0x06, 0x07, 0x0e, 0x16) // invalid in 64-bit mode
+		b.Func("tail")
+		b.MovRegImm32(x86.RAX, 1)
+		b.Syscall()
+		b.Ret()
+	}, nil)
+	res := Syspeek(bin)
+	if !reflect.DeepEqual(res.Syscalls, []uint64{1, 60}) {
+		t.Fatalf("syscalls: %v, want [1 60]", res.Syscalls)
+	}
+}
+
+func TestSyspeekInterveningWriteBlocksResolution(t *testing.T) {
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 60)
+		b.AddRegImm(x86.RAX, 1) // clobbers the immediate
+		b.Syscall()
+		b.Ret()
+	}, nil)
+	res := Syspeek(bin)
+	if res.SitesResolved != 0 {
+		t.Fatalf("clobbered site resolved: %v", res.Syscalls)
+	}
+}

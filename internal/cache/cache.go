@@ -82,11 +82,12 @@ const (
 	defaultMemBytes   = 256 << 20
 )
 
-// memTier is the process-wide memory tier: an LRU over full entry keys
-// (dir\x00kind\x00key). It is shared by every Store handle so a
-// per-batch analyzer recreated over the same directory keeps its warm
-// entries.
-var memTier = newLRUTier(defaultMemEntries, defaultMemBytes)
+// memTier is the process-wide memory tier: a lock-striped LRU over
+// full entry keys (dir\x00kind\x00key). It is shared by every Store
+// handle so a per-batch analyzer recreated over the same directory
+// keeps its warm entries; striping keeps a fleet sweep's worker pool
+// from serializing on one mutex.
+var memTier = newStripedTier(defaultMemEntries, defaultMemBytes)
 
 type memEntry struct {
 	key     string
@@ -94,11 +95,107 @@ type memEntry struct {
 	payload []byte
 }
 
-// lruTier is the size-bounded LRU behind the memory tier: a map for
-// lookup, an intrusive recency list for eviction order, and byte
-// accounting over payload sizes. The single mutex is not a contention
-// point in practice — every hit also pays a stat(2) to validate the
-// durable entry, which dwarfs the critical section.
+// tierStripes is the memory tier's stripe count. Keys spread by hash,
+// so with a fleet sweep's worker pool (typically ≤ GOMAXPROCS workers)
+// the probability of two workers colliding on one stripe's mutex stays
+// low; 16 is plenty without fragmenting the byte budget into
+// uselessly small shares.
+const tierStripes = 16
+
+// stripedTier shards the memory tier across tierStripes independent
+// LRUs, each with its own mutex and a proportional slice of the entry
+// and byte budgets (shares sum to the configured caps, except that
+// every stripe keeps a floor of 1 so degenerate tiny caps stay
+// functional). Recency and eviction are therefore per-stripe: a
+// globally-LRU entry survives if its stripe is cold, and a hot stripe
+// evicts entries a global LRU would have kept — bounded staleness the
+// property test holds to a per-stripe tolerance, in exchange for
+// uncontended parallel access.
+type stripedTier struct {
+	limitMu    sync.Mutex // guards the configured totals, not the data path
+	maxEntries int
+	maxBytes   int64
+	stripes    [tierStripes]*lruTier
+}
+
+func newStripedTier(maxEntries int, maxBytes int64) *stripedTier {
+	t := &stripedTier{}
+	for i := range t.stripes {
+		t.stripes[i] = newLRUTier(1, 1)
+	}
+	t.setLimits(maxEntries, maxBytes)
+	return t
+}
+
+// stripeOf routes a key to its stripe by FNV-1a hash.
+func stripeOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % tierStripes
+}
+
+func (t *stripedTier) get(key string) (memEntry, bool) { return t.stripes[stripeOf(key)].get(key) }
+func (t *stripedTier) put(ent memEntry)                { t.stripes[stripeOf(ent.key)].put(ent) }
+func (t *stripedTier) del(key string)                  { t.stripes[stripeOf(key)].del(key) }
+
+func (t *stripedTier) snapshot() (entries int, bytes int64) {
+	for _, s := range t.stripes {
+		e, b := s.snapshot()
+		entries += e
+		bytes += b
+	}
+	return entries, bytes
+}
+
+func (t *stripedTier) evictions() uint64 {
+	var n uint64
+	for _, s := range t.stripes {
+		n += s.evictions.Load()
+	}
+	return n
+}
+
+// setLimits installs new totals (non-positive values keep the current
+// ones) by dividing them across the stripes — remainder spread over
+// the low stripes, a floor of 1 per stripe — and returns the previous
+// totals.
+func (t *stripedTier) setLimits(maxEntries int, maxBytes int64) (prevEntries int, prevBytes int64) {
+	t.limitMu.Lock()
+	defer t.limitMu.Unlock()
+	prevEntries, prevBytes = t.maxEntries, t.maxBytes
+	if maxEntries > 0 {
+		t.maxEntries = maxEntries
+	}
+	if maxBytes > 0 {
+		t.maxBytes = maxBytes
+	}
+	for i := range t.stripes {
+		e := t.maxEntries / tierStripes
+		if i < t.maxEntries%tierStripes {
+			e++
+		}
+		if e < 1 {
+			e = 1
+		}
+		b := t.maxBytes / tierStripes
+		if int64(i) < t.maxBytes%int64(tierStripes) {
+			b++
+		}
+		if b < 1 {
+			b = 1
+		}
+		t.stripes[i].setLimits(e, b)
+	}
+	return prevEntries, prevBytes
+}
+
+// lruTier is the size-bounded LRU behind one stripe of the memory
+// tier: a map for lookup, an intrusive recency list for eviction
+// order, and byte accounting over payload sizes. Each stripe has its
+// own mutex; cross-stripe concurrency never contends.
 type lruTier struct {
 	mu         sync.Mutex
 	entries    map[string]*list.Element // -> *memEntry elements of order
@@ -217,6 +314,13 @@ type Store struct {
 	memPrefix string
 	noMem     atomic.Bool
 
+	// shardMu stripes disk writes by key shard (the key[:2] subdir
+	// layout mapped onto tierStripes mutexes): concurrent sweep workers
+	// storing into different shards proceed in parallel, while writers
+	// landing in one shard serialize their temp-sweep + create + rename
+	// sequence instead of churning temp files against each other.
+	shardMu [tierStripes]sync.Mutex
+
 	hits        atomic.Uint64
 	memoryHits  atomic.Uint64
 	misses      atomic.Uint64
@@ -284,7 +388,7 @@ func (s *Store) Stats() Stats {
 		Misses:          s.misses.Load(),
 		Stores:          s.stores.Load(),
 		StoredBytes:     s.storedBytes.Load(),
-		MemoryEvictions: memTier.evictions.Load(),
+		MemoryEvictions: memTier.evictions(),
 		MemoryEntries:   entries,
 		MemoryBytes:     bytes,
 	}
@@ -417,6 +521,9 @@ func (s *Store) Store(kind, key, conf string, payload any) error {
 		return fmt.Errorf("cache: marshal envelope: %w", err)
 	}
 	path := s.path(kind, key)
+	mu := &s.shardMu[stripeOf(key[:2])]
+	mu.Lock()
+	defer mu.Unlock()
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}

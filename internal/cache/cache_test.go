@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -418,9 +419,14 @@ func TestMemoryTierDroppedWithDurableEntry(t *testing.T) {
 }
 
 func TestMemoryTierLRUEvictionBounds(t *testing.T) {
-	// The tier is process-wide; pin tight bounds and restore them so the
-	// other tests keep their effectively-unbounded defaults.
-	prevE, prevB := SetMemoryTierLimits(2, 1<<20)
+	// The tier is process-wide and lock-striped: budgets divide across
+	// stripes and recency is tracked per stripe. Drain leftovers from
+	// other tests (a 1-byte budget evicts every real payload), then pin
+	// bounds that give each stripe a capacity of 2, and exercise the
+	// LRU semantics with keys crafted to collide on ONE stripe — where
+	// eviction order is defined. Restore the defaults afterwards.
+	prevE, prevB := SetMemoryTierLimits(1, 1)
+	SetMemoryTierLimits(2*tierStripes, 1<<20)
 	defer SetMemoryTierLimits(prevE, prevB)
 
 	dir := t.TempDir()
@@ -428,10 +434,25 @@ func TestMemoryTierLRUEvictionBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys := make([]string, 4)
-	for i := range keys {
-		keys[i] = testKey(t, "image-lru-"+string(rune('a'+i)))
-		if err := s.Store("interface", keys[i], "conf", payload{Name: keys[i][:8]}); err != nil {
+	// Four keys landing in the same stripe. The stripe is keyed by the
+	// full memory-tier key (dir\x00kind\x00key), so match on that.
+	keys := make([]string, 0, 4)
+	target := uint32(0)
+	for nonce := 0; len(keys) < 4 && nonce < 1<<16; nonce++ {
+		k := testKey(t, fmt.Sprintf("image-lru-%d", nonce))
+		st := stripeOf(s.memKey("interface", k))
+		if len(keys) == 0 {
+			target = st
+		} else if st != target {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) < 4 {
+		t.Fatal("could not craft colliding keys")
+	}
+	for _, k := range keys {
+		if err := s.Store("interface", k, "conf", payload{Name: k[:8]}); err != nil {
 			t.Fatal(err)
 		}
 	}

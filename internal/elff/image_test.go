@@ -1,0 +1,151 @@
+package elff
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// imageSpec builds a tiny valid image on disk and returns its path and
+// serialized bytes.
+func imageSpec(t *testing.T) (string, []byte) {
+	t.Helper()
+	data, err := Write(Spec{
+		Kind:     KindStatic,
+		Base:     0x400000,
+		Entry:    0x400000,
+		Blob:     []byte{0x0f, 0x05, 0xc3, 0x90, 0x90, 0x90, 0x90, 0x90},
+		CodeSize: 8,
+	})
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "img.elf")
+	if err := os.WriteFile(path, data, 0o755); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path, data
+}
+
+func TestOpenMappedMatchesCopied(t *testing.T) {
+	path, data := imageSpec(t)
+
+	mapped, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	defer mapped.Close()
+	copied, err := OpenCopied(path)
+	if err != nil {
+		t.Fatalf("OpenCopied: %v", err)
+	}
+	defer copied.Close()
+
+	if !bytes.Equal(mapped.Data, data) {
+		t.Fatalf("mapped data differs from file bytes")
+	}
+	if !bytes.Equal(mapped.Data, copied.Data) {
+		t.Fatalf("mapped and copied data differ")
+	}
+	if copied.Mapped() {
+		t.Fatalf("OpenCopied produced a mapped image")
+	}
+	if runtime.GOOS == "linux" && !mapped.Mapped() {
+		t.Fatalf("OpenMapped fell back to a copy on linux")
+	}
+}
+
+func TestOpenBinaryZeroCopyAndRelease(t *testing.T) {
+	path, data := imageSpec(t)
+
+	// Both frontends must parse to identical binaries.
+	viaRead, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for _, noMmap := range []bool{false, true} {
+		bin, err := OpenBinary(path, noMmap)
+		if err != nil {
+			t.Fatalf("OpenBinary(noMmap=%v): %v", noMmap, err)
+		}
+		if bin.Hash != viaRead.Hash || !bytes.Equal(bin.Blob, viaRead.Blob) {
+			t.Fatalf("OpenBinary(noMmap=%v) disagrees with ReadFile", noMmap)
+		}
+		im := bin.Image()
+		if im == nil {
+			t.Fatalf("OpenBinary(noMmap=%v): no backing image", noMmap)
+		}
+		wasMapped := im.Mapped()
+		// The zero-copy contract: when mapped, Blob must be a view into
+		// the image (no heap copy of the segment).
+		if wasMapped {
+			blobP := uintptr(reflect.ValueOf(bin.Blob).Pointer())
+			dataP := uintptr(reflect.ValueOf(im.Data).Pointer())
+			if blobP < dataP || blobP >= dataP+uintptr(len(im.Data)) {
+				t.Fatalf("mapped Blob does not alias the image")
+			}
+		}
+		if err := bin.ReleaseImage(); err != nil {
+			t.Fatalf("ReleaseImage: %v", err)
+		}
+		if wasMapped && bin.Blob != nil {
+			t.Fatalf("ReleaseImage left Blob aliasing an unmapped view")
+		}
+		if bin.Hash != viaRead.Hash || bin.Entry != viaRead.Entry {
+			t.Fatalf("ReleaseImage clobbered metadata")
+		}
+		// Idempotent.
+		if err := bin.ReleaseImage(); err != nil {
+			t.Fatalf("second ReleaseImage: %v", err)
+		}
+	}
+	_ = data
+}
+
+func TestReadPrehashedAliasFidelity(t *testing.T) {
+	_, data := imageSpec(t)
+	plain, err := Read(data)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	aliased, err := ReadPrehashedAlias(data, plain.Hash)
+	if err != nil {
+		t.Fatalf("ReadPrehashedAlias: %v", err)
+	}
+	if !bytes.Equal(plain.Blob, aliased.Blob) ||
+		plain.Base != aliased.Base || plain.CodeSize != aliased.CodeSize ||
+		plain.Entry != aliased.Entry || plain.Kind != aliased.Kind {
+		t.Fatalf("aliased parse disagrees with copying parse")
+	}
+	// Single PT_LOAD with Filesz == Memsz (what Write emits) must alias.
+	blobP := uintptr(reflect.ValueOf(aliased.Blob).Pointer())
+	dataP := uintptr(reflect.ValueOf(data).Pointer())
+	if blobP < dataP || blobP >= dataP+uintptr(len(data)) {
+		t.Fatalf("ReadPrehashedAlias copied a blob it should have aliased")
+	}
+	// The copying parse must never alias.
+	plainP := uintptr(reflect.ValueOf(plain.Blob).Pointer())
+	if plainP >= dataP && plainP < dataP+uintptr(len(data)) {
+		t.Fatalf("Read aliased the caller's buffer")
+	}
+}
+
+func TestImageCloseIdempotent(t *testing.T) {
+	path, _ := imageSpec(t)
+	im, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if im.Data != nil || im.Mapped() {
+		t.Fatalf("Close left state behind")
+	}
+}

@@ -1,0 +1,26 @@
+//go:build linux
+
+package elff
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and privately. A mapping
+// failure (an exotic filesystem, a size the kernel rejects) is not an
+// error — the caller falls back to reading the file into the heap —
+// so the error return is reserved for cases where neither path can
+// work. mapped=false means "fall back".
+func mmapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, false, nil
+	}
+	data, merr := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if merr != nil {
+		return nil, false, nil
+	}
+	return data, true, nil
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

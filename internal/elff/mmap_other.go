@@ -1,0 +1,14 @@
+//go:build !linux
+
+package elff
+
+import "os"
+
+// mmapFile on platforms without a wired-up mmap path always reports
+// "fall back": OpenMapped degrades to an in-heap read with identical
+// results (the fuzzer's nommap invariance leg pins that equivalence).
+func mmapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	return nil, false, nil
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -28,6 +28,10 @@ type Binary struct {
 	Needed    []string
 	Symbols   map[string]uint64
 	HasUnwind bool
+
+	// img is the backing image when the binary was parsed through
+	// OpenBinary; Blob may alias it. Released by ReleaseImage.
+	img *Image
 }
 
 // CodeContains reports whether addr is inside the code (.text) part of
@@ -124,9 +128,10 @@ func ReadFile(path string) (*Binary, error) {
 	return b, nil
 }
 
-// Read parses an ELF image from memory.
+// Read parses an ELF image from memory. The returned Binary's Blob is
+// a private copy — callers may reuse or mutate data afterwards.
 func Read(data []byte) (*Binary, error) {
-	return readHashed(data, "")
+	return readHashed(data, "", false)
 }
 
 // ReadPrehashed parses like Read but reuses a content hash already
@@ -135,10 +140,22 @@ func Read(data []byte) (*Binary, error) {
 // must be what Read would compute for data — anything else poisons
 // every content-addressed cache entry keyed by it.
 func ReadPrehashed(data []byte, hash string) (*Binary, error) {
-	return readHashed(data, hash)
+	return readHashed(data, hash, false)
 }
 
-func readHashed(data []byte, hash string) (*Binary, error) {
+// ReadPrehashedAlias parses like ReadPrehashed but lets the Binary's
+// Blob alias data directly — zero-copy — whenever the image layout
+// allows it (a PT_LOAD with Filesz == Memsz, which every image this
+// package writes has). The caller must keep data immutable and alive
+// for as long as the Binary's Blob is in use; the mmap frontend
+// (OpenBinary / bside's file path) owns that contract. Layouts with
+// trailing BSS (Filesz < Memsz) silently fall back to the copying
+// path.
+func ReadPrehashedAlias(data []byte, hash string) (*Binary, error) {
+	return readHashed(data, hash, true)
+}
+
+func readHashed(data []byte, hash string, alias bool) (*Binary, error) {
 	f, err := elf.NewFile(bytes.NewReader(data))
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
@@ -169,12 +186,19 @@ func readHashed(data []byte, hash string) (*Binary, error) {
 		if p.Type != elf.PT_LOAD {
 			continue
 		}
-		blob := make([]byte, p.Memsz)
-		if _, err := p.ReadAt(blob[:p.Filesz], 0); err != nil {
-			return nil, fmt.Errorf("segment read: %w", err)
+		if alias && p.Filesz == p.Memsz && p.Off <= uint64(len(data)) && p.Filesz <= uint64(len(data))-p.Off {
+			// Zero-copy: the loadable region is fully materialized in
+			// the file, so the blob can be a view into the source bytes
+			// (typically an mmap'd image) instead of a heap copy.
+			out.Blob = data[p.Off : p.Off+p.Filesz : p.Off+p.Filesz]
+		} else {
+			blob := make([]byte, p.Memsz)
+			if _, err := p.ReadAt(blob[:p.Filesz], 0); err != nil {
+				return nil, fmt.Errorf("segment read: %w", err)
+			}
+			out.Blob = blob
 		}
 		out.Base = p.Vaddr
-		out.Blob = blob
 		break // single-PT_LOAD images by construction
 	}
 	if out.Blob == nil {

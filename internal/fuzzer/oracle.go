@@ -2,6 +2,7 @@ package fuzzer
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"bside/internal/emu"
 	"bside/internal/eval"
 	"bside/internal/serve"
+	"bside/internal/sweep"
 )
 
 // Verdict is the oracle's judgement of one case — the JSON-line record
@@ -234,6 +236,14 @@ func (o *Oracle) Check(c Case) *Verdict {
 			}
 			return results[0], results[0].Err
 		}},
+		// Fleet axis: the sweep harness must be a transparent carrier
+		// too — same result through the tree walker, with the
+		// differential scanner agreeing (no scan-resolved syscall
+		// outside the identified set) — on both image frontends, so an
+		// mmap-vs-read difference anywhere in the pipeline shows up as
+		// leg drift.
+		leg{"sweep", o.sweepRun(c.Seed, binPath, false)},
+		leg{"sweep-nommap", o.sweepRun(c.Seed, binPath, true)},
 		// Service axis: the HTTP frontend must be a transparent carrier.
 		// The leg uploads the image through a real (in-process) server
 		// and requires the response body to be byte-identical to the
@@ -326,6 +336,59 @@ func (o *Oracle) Check(c Case) *Verdict {
 
 	o.checkBaselines(v, bin)
 	return v
+}
+
+// sweepRun builds one sweep invariance leg: the case's binary alone in
+// a scratch tree, swept with the differential scanner on. The leg
+// fails on any per-binary failure, on a scanner disagreement, and (via
+// the caller's fingerprint comparison) on any result drift against the
+// direct-analysis legs.
+func (o *Oracle) sweepRun(seed int64, binPath string, noMmap bool) func() (*bside.Analysis, error) {
+	return func() (*bside.Analysis, error) {
+		frontend := "mmap"
+		if noMmap {
+			frontend = "nommap"
+		}
+		treeDir := filepath.Join(o.opts.Dir, fmt.Sprintf("sweep-%d-%s", seed, frontend))
+		if err := os.MkdirAll(treeDir, 0o755); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(treeDir)
+		img, err := os.ReadFile(binPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(treeDir, "bin"), img, 0o755); err != nil {
+			return nil, err
+		}
+
+		var res *sweep.Result
+		sum, err := sweep.Run(context.Background(), treeDir, sweep.Options{
+			Analyzer: bside.NewAnalyzer(bside.Options{
+				LibraryDir:   o.opts.Universe.Dir,
+				IntraWorkers: 1,
+				DisableMmap:  noMmap,
+			}),
+			Jobs:     1,
+			Diff:     true,
+			NoMmap:   noMmap,
+			OnResult: func(r *sweep.Result) { res = r },
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res != nil && res.Error != "" {
+			return nil, fmt.Errorf("sweep: %s failed in phase %s: %s", res.Path, res.Phase, res.Error)
+		}
+		if sum.Analyzed != 1 || res == nil || res.Analysis == nil {
+			return nil, fmt.Errorf("sweep: analyzed=%d failed=%d phases=%v", sum.Analyzed, sum.Failed, sum.FailurePhases)
+		}
+		if sum.ScanDisagreements != 0 {
+			return nil, fmt.Errorf("sweep: scan-resolved syscalls %v outside the identified set %v",
+				res.Diff.ScanOnly, res.Syscalls)
+		}
+		return res.Analysis, nil
+	}
 }
 
 // checkBaselines asserts the reimplemented competitors fail exactly in

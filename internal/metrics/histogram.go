@@ -1,0 +1,102 @@
+// Package metrics holds the small lock-free measurement primitives
+// shared by the resident service (per-stage latency on /metrics) and
+// the sweep harness (fleet P50/P99 per-binary latency): a log-scale
+// millisecond histogram with quantile estimation over its buckets.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of power-of-two millisecond buckets: the
+// first bucket is ≤1ms, the last ≤2^(HistBuckets-1)ms (~2.2 minutes);
+// anything slower lands in the overflow counter. Log-scale is the
+// right shape for analysis latency — a warm memory-tier hit and a cold
+// libc-sized analysis sit five orders of magnitude apart.
+const HistBuckets = 18
+
+// Histogram is a lock-free log-scale latency histogram. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	counts   [HistBuckets]atomic.Uint64
+	overflow atomic.Uint64
+	total    atomic.Uint64
+	sumUs    atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ms := d.Milliseconds()
+	idx := 0
+	for idx < HistBuckets && ms > int64(1)<<idx {
+		idx++
+	}
+	if idx == HistBuckets {
+		h.overflow.Add(1)
+	} else {
+		h.counts[idx].Add(1)
+	}
+	h.total.Add(1)
+	h.sumUs.Add(uint64(d.Microseconds()))
+}
+
+// Snapshot is a histogram's frozen distribution: LeMs[i] is the upper
+// bound of bucket i in milliseconds, Counts[i] its population
+// (non-cumulative), Overflow everything past the last bound. The JSON
+// shape is the /metrics wire format of the resident service.
+type Snapshot struct {
+	LeMs     []uint64 `json:"le_ms"`
+	Counts   []uint64 `json:"counts"`
+	Overflow uint64   `json:"overflow"`
+	Count    uint64   `json:"count"`
+	SumMs    float64  `json:"sum_ms"`
+}
+
+// Snapshot freezes the histogram's current state.
+func (h *Histogram) Snapshot() Snapshot {
+	out := Snapshot{
+		LeMs:     make([]uint64, HistBuckets),
+		Counts:   make([]uint64, HistBuckets),
+		Overflow: h.overflow.Load(),
+		Count:    h.total.Load(),
+		SumMs:    float64(h.sumUs.Load()) / 1000,
+	}
+	for i := 0; i < HistBuckets; i++ {
+		out.LeMs[i] = uint64(1) << i
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket
+// populations, reporting each bucket by its upper bound — a
+// conservative (never underestimating) answer at log-2 resolution,
+// which is what a fleet summary's P50/P99 needs. Durations that
+// overflowed the last bucket report as twice its bound. Returns 0 for
+// an empty distribution.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			return time.Duration(s.LeMs[i]) * time.Millisecond
+		}
+	}
+	// Past every bucket: the overflow region.
+	last := uint64(1) << (HistBuckets - 1)
+	return time.Duration(2*last) * time.Millisecond
+}

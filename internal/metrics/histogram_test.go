@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Microsecond) // ≤1ms bucket
+	h.Observe(3 * time.Millisecond)   // ≤4ms bucket
+	h.Observe(-time.Second)           // clamped to 0 → ≤1ms
+	h.Observe(10 * time.Hour)         // overflow
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if s.Counts[0] != 2 {
+		t.Fatalf("≤1ms bucket = %d, want 2", s.Counts[0])
+	}
+	if s.Counts[2] != 1 {
+		t.Fatalf("≤4ms bucket = %d, want 1", s.Counts[2])
+	}
+	if s.Overflow != 1 {
+		t.Fatalf("overflow = %d, want 1", s.Overflow)
+	}
+	if s.LeMs[0] != 1 || s.LeMs[1] != 2 || s.LeMs[HistBuckets-1] != 1<<(HistBuckets-1) {
+		t.Fatalf("bucket bounds wrong: %v", s.LeMs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	// 90 fast (≤1ms), 10 slow (≤16ms).
+	for i := 0; i < 90; i++ {
+		h.Observe(200 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(12 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 != 1*time.Millisecond {
+		t.Fatalf("P50 = %v, want 1ms", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 != 16*time.Millisecond {
+		t.Fatalf("P99 = %v, want 16ms", p99)
+	}
+	// Quantiles never underestimate: the reported bound is ≥ the true
+	// value for every observation in the bucket.
+	if s.Quantile(1.0) < 12*time.Millisecond {
+		t.Fatalf("P100 underestimates")
+	}
+}
+
+func TestQuantileOverflow(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Hour)
+	want := time.Duration(2*(1<<(HistBuckets-1))) * time.Millisecond
+	if q := h.Snapshot().Quantile(0.99); q != want {
+		t.Fatalf("overflow quantile = %v, want %v", q, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c := h.Snapshot().Count; c != 8000 {
+		t.Fatalf("count = %d, want 8000", c)
+	}
+}

@@ -1,97 +1,40 @@
 package serve
 
 import (
-	"sync/atomic"
-	"time"
-
 	"bside"
+	"bside/internal/metrics"
 )
 
-// histBuckets is the number of power-of-two millisecond buckets: the
-// first bucket is ≤1ms, the last ≤2^(histBuckets-1)ms (~2.2 minutes);
-// anything slower lands in the overflow counter. Log-scale is the
-// right shape for analysis latency — a warm memory-tier hit and a cold
-// libc-sized analysis sit five orders of magnitude apart.
-const histBuckets = 18
-
-// histogram is a lock-free log-scale latency histogram.
-type histogram struct {
-	counts   [histBuckets]atomic.Uint64
-	overflow atomic.Uint64
-	total    atomic.Uint64
-	sumUs    atomic.Uint64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	ms := d.Milliseconds()
-	idx := 0
-	for idx < histBuckets && ms > int64(1)<<idx {
-		idx++
-	}
-	if idx == histBuckets {
-		h.overflow.Add(1)
-	} else {
-		h.counts[idx].Add(1)
-	}
-	h.total.Add(1)
-	h.sumUs.Add(uint64(d.Microseconds()))
-}
-
 // HistogramSnapshot is one stage's latency distribution as served by
-// /metrics: LeMs[i] is the upper bound of bucket i in milliseconds,
-// Counts[i] its population (non-cumulative), Overflow everything past
-// the last bound.
-type HistogramSnapshot struct {
-	LeMs     []uint64 `json:"le_ms"`
-	Counts   []uint64 `json:"counts"`
-	Overflow uint64   `json:"overflow"`
-	Count    uint64   `json:"count"`
-	SumMs    float64  `json:"sum_ms"`
-}
-
-func (h *histogram) snapshot() HistogramSnapshot {
-	out := HistogramSnapshot{
-		LeMs:     make([]uint64, histBuckets),
-		Counts:   make([]uint64, histBuckets),
-		Overflow: h.overflow.Load(),
-		Count:    h.total.Load(),
-		SumMs:    float64(h.sumUs.Load()) / 1000,
-	}
-	for i := 0; i < histBuckets; i++ {
-		out.LeMs[i] = uint64(1) << i
-		out.Counts[i] = h.counts[i].Load()
-	}
-	return out
-}
+// /metrics — the shared metrics snapshot (same JSON wire shape as
+// before the histogram moved to internal/metrics).
+type HistogramSnapshot = metrics.Snapshot
 
 // stageHistograms tracks one histogram per pipeline stage plus the
 // end-to-end total — the service's live rendering of the paper's
 // per-stage cost table.
 type stageHistograms struct {
-	decode   histogram
-	wrappers histogram
-	identify histogram
-	stitch   histogram
-	total    histogram
+	decode   metrics.Histogram
+	wrappers metrics.Histogram
+	identify metrics.Histogram
+	stitch   metrics.Histogram
+	total    metrics.Histogram
 }
 
 func (sh *stageHistograms) observe(t *bside.Timings) {
-	sh.decode.observe(t.Decode)
-	sh.wrappers.observe(t.Wrappers)
-	sh.identify.observe(t.Identify)
-	sh.stitch.observe(t.Stitch)
-	sh.total.observe(t.Total)
+	sh.decode.Observe(t.Decode)
+	sh.wrappers.Observe(t.Wrappers)
+	sh.identify.Observe(t.Identify)
+	sh.stitch.Observe(t.Stitch)
+	sh.total.Observe(t.Total)
 }
 
 func (sh *stageHistograms) snapshot() map[string]HistogramSnapshot {
 	return map[string]HistogramSnapshot{
-		"decode":   sh.decode.snapshot(),
-		"wrappers": sh.wrappers.snapshot(),
-		"identify": sh.identify.snapshot(),
-		"stitch":   sh.stitch.snapshot(),
-		"total":    sh.total.snapshot(),
+		"decode":   sh.decode.Snapshot(),
+		"wrappers": sh.wrappers.Snapshot(),
+		"identify": sh.identify.Snapshot(),
+		"stitch":   sh.stitch.Snapshot(),
+		"total":    sh.total.Snapshot(),
 	}
 }

@@ -293,12 +293,15 @@ func (a *Analyzer) ensureInterface(name string) error {
 // Hash are consulted afterwards (closure walks and cache
 // fingerprints); without the trim, a long-lived batch analyzer would
 // pin every distinct library's full segment bytes in memory for its
-// lifetime. The original *elff.Binary is untouched — callers handing
-// in-memory images to LoadLib keep theirs intact.
+// lifetime. Libraries that came through the mapped-image frontend
+// (elff.OpenBinary) release their mapping here — ReleaseImage is a
+// no-op for every other load path, so callers handing in-memory
+// images to LoadLib keep theirs intact.
 func (a *Analyzer) trimBin(name string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if bin, ok := a.bins[name]; ok {
+		_ = bin.ReleaseImage()
 		a.bins[name] = &elff.Binary{
 			Path:   bin.Path,
 			Hash:   bin.Hash,

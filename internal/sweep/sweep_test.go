@@ -1,0 +1,309 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"bside"
+	"bside/internal/asm"
+	"bside/internal/corpus"
+	"bside/internal/elff"
+	"bside/internal/x86"
+)
+
+// writeTree materializes a small distro-shaped tree: ELF programs in
+// nested directories, interleaved with the non-candidates a real tree
+// is mostly made of (text, truncated files, a 32-bit ELF header).
+// Returns the ELF paths.
+func writeTree(t *testing.T, root string) []string {
+	t.Helper()
+	elfs := make([]string, 0, 3)
+	for i, rel := range []string{"bin/prog0", "bin/prog1", "usr/lib/prog2"} {
+		bin, err := corpus.BuildProgram(corpus.Profile{
+			Name: filepath.Base(rel), Kind: elff.KindStatic,
+			HotDirect: 3, HotWrapper: 1, Filler: 8, Seed: int64(9000 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := bin.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		elfs = append(elfs, path)
+	}
+	junk := map[string][]byte{
+		"etc/config.txt": []byte("# not a binary\n"),
+		"short":          {0x7f, 'E'},
+		// Right magic, wrong class: a 32-bit ELF must be skipped, not
+		// failed.
+		"lib32/old": {0x7f, 'E', 'L', 'F', 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0, 3, 0},
+	}
+	for rel, data := range junk {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return elfs
+}
+
+// collect runs one sweep and returns the per-path results.
+func collect(t *testing.T, root string, opts Options) (map[string]*Result, *Summary) {
+	t.Helper()
+	results := make(map[string]*Result)
+	opts.OnResult = func(r *Result) { results[r.Path] = r }
+	sum, err := Run(context.Background(), root, opts)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	return results, sum
+}
+
+func TestSweepMatchesDirectAnalysis(t *testing.T) {
+	root := t.TempDir()
+	elfs := writeTree(t, root)
+
+	a := bside.NewAnalyzer(bside.Options{})
+	results, sum := collect(t, root, Options{Analyzer: a, Jobs: 2})
+
+	if sum.Files != 6 || sum.ELFs != 3 || sum.Skipped != 3 {
+		t.Fatalf("counts: files=%d elfs=%d skipped=%d, want 6/3/3", sum.Files, sum.ELFs, sum.Skipped)
+	}
+	if sum.Analyzed != 3 || sum.Failed != 0 {
+		t.Fatalf("analyzed=%d failed=%d (phases=%v)", sum.Analyzed, sum.Failed, sum.FailurePhases)
+	}
+	if sum.BinariesPerSec <= 0 || sum.Latency.Count != 3 {
+		t.Fatalf("throughput accounting: %+v", sum)
+	}
+
+	// Every sweep answer must match a direct, sweep-free analysis.
+	direct := bside.NewAnalyzer(bside.Options{})
+	for _, path := range elfs {
+		res := results[path]
+		if res == nil {
+			t.Fatalf("no result for %s", path)
+		}
+		if res.Analysis == nil || res.Phase != "" {
+			t.Fatalf("%s: phase=%q err=%q", path, res.Phase, res.Error)
+		}
+		want, err := direct.AnalyzeFileContext(context.Background(), path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Syscalls, want.Syscalls) || res.FailOpen != want.FailOpen {
+			t.Fatalf("%s: sweep %v (failopen=%v) vs direct %v (failopen=%v)",
+				path, res.Syscalls, res.FailOpen, want.Syscalls, want.FailOpen)
+		}
+	}
+}
+
+func TestSweepWarmSecondPass(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root)
+	cacheDir := t.TempDir()
+
+	_, cold := collect(t, root, Options{Analyzer: bside.NewAnalyzer(bside.Options{CacheDir: cacheDir})})
+	if cold.Warm != 0 {
+		t.Fatalf("cold pass reported %d warm hits", cold.Warm)
+	}
+	results, warm := collect(t, root, Options{Analyzer: bside.NewAnalyzer(bside.Options{CacheDir: cacheDir})})
+	if warm.Warm != warm.Analyzed || warm.Analyzed != 3 {
+		t.Fatalf("warm pass: warm=%d analyzed=%d, want 3/3", warm.Warm, warm.Analyzed)
+	}
+	if warm.WarmHitRatio != 1 {
+		t.Fatalf("warm hit ratio %v, want 1", warm.WarmHitRatio)
+	}
+	for path, res := range results {
+		if !res.Cached {
+			t.Fatalf("%s not served from cache on second pass", path)
+		}
+	}
+}
+
+func TestSweepNoMmapIdentical(t *testing.T) {
+	root := t.TempDir()
+	elfs := writeTree(t, root)
+
+	mapped, _ := collect(t, root, Options{
+		Analyzer: bside.NewAnalyzer(bside.Options{}), Diff: true,
+	})
+	copied, _ := collect(t, root, Options{
+		Analyzer: bside.NewAnalyzer(bside.Options{DisableMmap: true}), Diff: true, NoMmap: true,
+	})
+	for _, path := range elfs {
+		m, c := mapped[path], copied[path]
+		if m == nil || c == nil {
+			t.Fatalf("missing result for %s", path)
+		}
+		if !reflect.DeepEqual(m.Syscalls, c.Syscalls) || m.FailOpen != c.FailOpen ||
+			m.Wrappers != c.Wrappers || !reflect.DeepEqual(m.Diff, c.Diff) {
+			t.Fatalf("%s: mmap and copied sweeps disagree:\n%+v\n%+v", path, m, c)
+		}
+	}
+}
+
+func TestSweepBoundedQueueDrainsLargeTree(t *testing.T) {
+	// More files than the queue holds: the walker must block and
+	// resume, never drop.
+	root := t.TempDir()
+	writeTree(t, root)
+	for i := 0; i < 40; i++ {
+		path := filepath.Join(root, "noise", fmt.Sprintf("f%02d", i))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, sum := collect(t, root, Options{
+		Analyzer: bside.NewAnalyzer(bside.Options{}), Jobs: 1, QueueDepth: 1,
+	})
+	if sum.Files != 46 || sum.Analyzed != 3 {
+		t.Fatalf("files=%d analyzed=%d, want 46/3", sum.Files, sum.Analyzed)
+	}
+}
+
+func TestSweepAnalyzeFailureIsCountedNotFatal(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root)
+	// A file that sniffs as a candidate but cannot be parsed: header
+	// only, no program headers behind it.
+	hdr := make([]byte, 64)
+	copy(hdr, []byte{0x7f, 'E', 'L', 'F', 2, 1, 1})
+	hdr[16], hdr[18] = 2, 62 // ET_EXEC, EM_X86_64
+	if err := os.WriteFile(filepath.Join(root, "truncated"), hdr, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	results, sum := collect(t, root, Options{Analyzer: bside.NewAnalyzer(bside.Options{})})
+	if sum.Analyzed != 3 || sum.Failed != 1 || sum.FailurePhases["analyze"] != 1 {
+		t.Fatalf("analyzed=%d failed=%d phases=%v", sum.Analyzed, sum.Failed, sum.FailurePhases)
+	}
+	bad := results[filepath.Join(root, "truncated")]
+	if bad == nil || bad.Phase != "analyze" || bad.Error == "" {
+		t.Fatalf("failure result: %+v", bad)
+	}
+}
+
+// TestSweepDiffFlagsResolvedScanOnly plants the one disagreement shape
+// -diff exists to catch: a dead function carrying an immediate-loaded
+// syscall. The linear scanner resolves it; B-Side's reachability
+// rightly excludes it; the sweep must surface the mismatch instead of
+// silently trusting either side.
+func TestSweepDiffFlagsResolvedScanOnly(t *testing.T) {
+	root := t.TempDir()
+	b := asm.New()
+	b.Func("_start")
+	b.MovRegImm32(x86.RAX, 60)
+	b.Syscall()
+	b.Ret()
+	b.Func("dead")
+	b.MovRegImm32(x86.RAX, 123)
+	b.Syscall()
+	b.Ret()
+	b.Label("__code_end")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	img, syms, err := b.Finalize(0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := elff.Write(elff.Spec{
+		Kind: elff.KindStatic, Base: 0x400000, Entry: syms["_start"],
+		Blob: img, CodeSize: syms["__code_end"] - 0x400000,
+		Symbols: map[string]uint64{"_start": syms["_start"], "dead": syms["dead"]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "planted")
+	if err := os.WriteFile(path, data, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	results, sum := collect(t, root, Options{Analyzer: bside.NewAnalyzer(bside.Options{}), Diff: true})
+	res := results[path]
+	if res == nil || res.Diff == nil {
+		t.Fatalf("no diff result: %+v", res)
+	}
+	if !reflect.DeepEqual(res.Syscalls, []uint64{60}) {
+		t.Fatalf("B-Side set: %v, want [60]", res.Syscalls)
+	}
+	if !reflect.DeepEqual(res.Diff.ScanOnly, []uint64{123}) {
+		t.Fatalf("scan-only: %+v, want [123]", res.Diff)
+	}
+	if res.Diff.ScanSites != 2 || res.Diff.ScanResolved != 2 {
+		t.Fatalf("scan sites: %+v", res.Diff)
+	}
+	if sum.ScanDisagreements != 1 {
+		t.Fatalf("summary disagreements: %d", sum.ScanDisagreements)
+	}
+}
+
+// TestSweepDiffAgreesOnCorpus: on corpus binaries — no dead code with
+// syscalls — every scan-resolved number is inside B-Side's set.
+func TestSweepDiffAgreesOnCorpus(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root)
+	results, sum := collect(t, root, Options{Analyzer: bside.NewAnalyzer(bside.Options{}), Diff: true})
+	if sum.ScanDisagreements != 0 {
+		for p, r := range results {
+			if r.Diff != nil && len(r.Diff.ScanOnly) > 0 {
+				t.Errorf("%s: scan-only %v (bside %v)", p, r.Diff.ScanOnly, r.Syscalls)
+			}
+		}
+		t.Fatalf("disagreements on clean corpus: %d", sum.ScanDisagreements)
+	}
+	for p, r := range results {
+		if r.Diff == nil {
+			t.Fatalf("%s: diff missing", p)
+		}
+		if r.Diff.ScanSites == 0 {
+			t.Fatalf("%s: scanner saw no sites", p)
+		}
+	}
+}
+
+func TestSweepProgressCallback(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root)
+	var ticks []int64
+	opts := Options{
+		Analyzer: bside.NewAnalyzer(bside.Options{}), Jobs: 1,
+		ProgressEvery: 1,
+		OnProgress:    func(s *Summary) { ticks = append(ticks, s.Analyzed+s.Failed) },
+	}
+	if _, err := Run(context.Background(), root, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("progress ticks: %v, want one per binary", ticks)
+	}
+	if !sort.SliceIsSorted(ticks, func(i, j int) bool { return ticks[i] < ticks[j] }) {
+		t.Fatalf("progress not monotonic: %v", ticks)
+	}
+}
+
+func TestSweepRequiresAnalyzer(t *testing.T) {
+	if _, err := Run(context.Background(), t.TempDir(), Options{}); err == nil {
+		t.Fatal("nil analyzer must be rejected")
+	}
+	a := bside.NewAnalyzer(bside.Options{})
+	if _, err := Run(context.Background(), "/nonexistent-sweep-root", Options{Analyzer: a}); err == nil {
+		t.Fatal("missing root must be rejected")
+	}
+}

@@ -1,0 +1,127 @@
+package bside_test
+
+// Fleet-throughput benchmarks for the sweep harness (external test
+// package: the root package cannot import internal/sweep, which
+// imports it back). BenchmarkSweepTree is the distro-scan number the
+// tentpole optimizations — mmap zero-copy image frontend, striped
+// cache tiers — exist to move: binaries per second over a nested tree,
+// cold and warm.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"bside"
+	"bside/internal/corpus"
+	"bside/internal/elff"
+	"bside/internal/sweep"
+)
+
+// sweepCorpusSize is the benchmark tree's binary count: big enough
+// that per-binary variance averages out, small enough to keep CI
+// bench smoke runs quick.
+const sweepCorpusSize = 64
+
+var sweepTree struct {
+	once sync.Once
+	root string
+	err  error
+}
+
+// sweepBenchTree materializes the shared benchmark tree once per
+// process: sweepCorpusSize static binaries across nested package
+// directories, interleaved with the non-ELF noise a real tree carries.
+func sweepBenchTree(b *testing.B) string {
+	sweepTree.once.Do(func() {
+		root, err := os.MkdirTemp("", "sweepbench")
+		if err != nil {
+			sweepTree.err = err
+			return
+		}
+		for i := 0; i < sweepCorpusSize; i++ {
+			bin, err := corpus.BuildProgram(corpus.Profile{
+				Name: fmt.Sprintf("fleet%02d", i), Kind: elff.KindStatic,
+				HotDirect: 10, HotWrapper: 3, HotStack: 2, Handlers: 1,
+				ColdDirect: 6, ColdWrapper: 2, StackedTruth: 1,
+				Filler: 24, Seed: int64(4000 + i),
+			})
+			if err != nil {
+				sweepTree.err = err
+				return
+			}
+			dir := filepath.Join(root, fmt.Sprintf("pkg%02d", i%8), "bin")
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				sweepTree.err = err
+				return
+			}
+			if err := bin.WriteFile(filepath.Join(dir, fmt.Sprintf("fleet%02d", i))); err != nil {
+				sweepTree.err = err
+				return
+			}
+			if i%8 == 0 {
+				noise := filepath.Join(root, fmt.Sprintf("pkg%02d", i%8), "doc.txt")
+				if err := os.WriteFile(noise, []byte("package docs\n"), 0o644); err != nil {
+					sweepTree.err = err
+					return
+				}
+			}
+		}
+		sweepTree.root = root
+	})
+	if sweepTree.err != nil {
+		b.Fatal(sweepTree.err)
+	}
+	return sweepTree.root
+}
+
+// runSweepBench sweeps the shared tree once and asserts the fleet came
+// through whole.
+func runSweepBench(b *testing.B, cacheDir string, wantWarm bool) {
+	b.Helper()
+	a := bside.NewAnalyzer(bside.Options{CacheDir: cacheDir})
+	sum, err := sweep.Run(context.Background(), sweepBenchTree(b), sweep.Options{Analyzer: a})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sum.Analyzed != sweepCorpusSize || sum.Failed != 0 {
+		b.Fatalf("analyzed=%d failed=%d (phases=%v), want %d/0",
+			sum.Analyzed, sum.Failed, sum.FailurePhases, sweepCorpusSize)
+	}
+	if wantWarm && sum.Warm != sum.Analyzed {
+		b.Fatalf("warm=%d of %d", sum.Warm, sum.Analyzed)
+	}
+	if !wantWarm && sum.Warm != 0 {
+		b.Fatalf("cold sweep served %d binaries warm", sum.Warm)
+	}
+}
+
+// BenchmarkSweepTree/Cold is the first scan of a fleet: every binary
+// walked, sniffed, mapped, analyzed and persisted.
+// BenchmarkSweepTree/Warm is every scan after it: the same tree served
+// from the content-addressed cache, which is the steady state of a
+// nightly distro rescan. Both report binaries per second.
+func BenchmarkSweepTree(b *testing.B) {
+	sweepBenchTree(b)
+	b.Run("Cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cacheDir := filepath.Join(b.TempDir(), fmt.Sprintf("cold%d", i))
+			b.StartTimer()
+			runSweepBench(b, cacheDir, false)
+		}
+		b.ReportMetric(float64(sweepCorpusSize*b.N)/b.Elapsed().Seconds(), "bin/s")
+	})
+	b.Run("Warm", func(b *testing.B) {
+		cacheDir := filepath.Join(b.TempDir(), "warm")
+		runSweepBench(b, cacheDir, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runSweepBench(b, cacheDir, true)
+		}
+		b.ReportMetric(float64(sweepCorpusSize*b.N)/b.Elapsed().Seconds(), "bin/s")
+	})
+}
