@@ -49,22 +49,25 @@ bench:
 # pipe element), and the in-bench worker-count drift guard must be
 # able to fail this target.
 bench-compare:
-	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary|RecoverLargeBinary|ServeWarmHash|SweepTree' \
+	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary|RecoverLargeBinary|ServeWarmHash|SweepTree|PrecisionCorpus' \
 		-benchtime=3x -benchmem -count=1 . > bench-compare.tmp
 	$(GO) run ./cmd/benchjson -commit $(SHA) < bench-compare.tmp > BENCH_$(SHA).json
 	@rm -f bench-compare.tmp
 	@echo "wrote BENCH_$(SHA).json"
 
 # Regression gate: the fresh artifact against the committed baseline.
-# Only allocs/op is gated — it is deterministic across machines, while
-# ns/op depends on the runner (the baseline was recorded on a different
-# box than CI's); time still lands in the artifact for human trending.
-# >10% more allocations on any shared benchmark fails the build, and
+# Gated metrics are the machine-independent ones: allocs/op (the
+# allocation trajectory) and identified/op (the resolver's mean
+# identified-set size over the fixed precision corpus — a rise means
+# indirect-call resolution stopped shrinking sets). ns/op depends on
+# the runner (the baseline was recorded on a different box than CI's),
+# so time lands in the artifact for human trending but is not gated.
+# >10% regression on any gated metric fails the build, and
 # -require-baseline fails when a gated benchmark is missing from the
 # committed baseline (a PR adding one must refresh BENCH_seed.json in
 # the same change).
 bench-check: bench-compare
-	$(GO) run ./cmd/benchjson -compare -metrics allocs/op -require-baseline BENCH_seed.json BENCH_$(SHA).json
+	$(GO) run ./cmd/benchjson -compare -metrics allocs/op,identified/op -require-baseline BENCH_seed.json BENCH_$(SHA).json
 
 # CPU+heap profiles of the dominant workload (the large-binary
 # identification pass) plus the pprof one-liners to read them.
@@ -107,7 +110,10 @@ FUZZ_START ?= 1
 fuzz:
 	$(GO) run ./cmd/bside fuzz -seeds $(FUZZ_SEEDS) -start $(FUZZ_START) -repro fuzz-repros
 
-# The nightly CI shape: a wider seed range under the race detector.
+# The nightly CI shape: a wider seed range under the race detector,
+# plus the per-seed precision report (identified vs resolver-off vs
+# emulator truth set sizes) CI uploads as an artifact.
 FUZZ_NIGHTLY_SEEDS ?= 400
 fuzz-nightly:
-	$(GO) run -race ./cmd/bside fuzz -seeds $(FUZZ_NIGHTLY_SEEDS) -start $(FUZZ_START) -repro fuzz-repros
+	$(GO) run -race ./cmd/bside fuzz -seeds $(FUZZ_NIGHTLY_SEEDS) -start $(FUZZ_START) \
+		-repro fuzz-repros -precision fuzz-precision.json

@@ -123,6 +123,19 @@ type Options struct {
 	// frontend-invariance axis enforces that); the switch exists for
 	// benchmarking the durable tier and for the oracle itself.
 	DisableMemoryTier bool
+	// ResolverLayers selects the depth of the layered indirect-call
+	// resolver, which refines how far each indirect call/jump site can
+	// fan out before identification runs: -1 disables it (every site
+	// reaches the whole active address-taken set — the most conservative
+	// reading of the paper's heuristic), 1 enables code-pointer
+	// provenance through read-only data sections and RELATIVE
+	// relocations, and 2 — the default for the zero value — adds
+	// call-signature pruning of provenance survivors. Every setting is
+	// sound (a site the resolver cannot refine keeps the full fan-out);
+	// deeper layers only shrink the identified superset. The setting is
+	// part of the cache fingerprint, so results computed under different
+	// layers never serve each other.
+	ResolverLayers int
 	// DisableMmap forces the file frontend to read images into the
 	// heap instead of memory-mapping them. The mapped path is the
 	// default wherever the platform supports it: the decode arena and
@@ -220,7 +233,7 @@ func NewAnalyzer(opts Options) *Analyzer {
 		// computed (shared.Analyzer.trimBin).
 		return a.openBinary(filepath.Join(dir, name))
 	}
-	inner := shared.NewAnalyzer(load, ident.Config{})
+	inner := shared.NewAnalyzer(load, ident.Config{ResolverLayers: opts.ResolverLayers})
 	inner.MaxCFGInsns = opts.MaxCFGInstructions
 	inner.Workers = opts.IntraWorkers
 	inner.Timeout = opts.Timeout

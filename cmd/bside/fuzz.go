@@ -25,8 +25,9 @@ func runFuzz(args []string, stdout, stderr io.Writer) error {
 	seeds := fs.Int("seeds", 50, "how many consecutive seeds to check")
 	start := fs.Int64("start", 1, "first seed of the range")
 	repro := fs.String("repro", "", "directory to write shrunk reproducers for failing seeds")
+	precision := fs.String("precision", "", "file to write the per-seed precision report (JSON)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: bside fuzz [-seeds n] [-start s] [-repro dir]")
+		fmt.Fprintln(stderr, "usage: bside fuzz [-seeds n] [-start s] [-repro dir] [-precision file]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -60,12 +61,14 @@ func runFuzz(args []string, stdout, stderr io.Writer) error {
 	began := time.Now()
 	enc := json.NewEncoder(stdout)
 	failed := 0
+	var prec fuzzer.PrecisionReport
 	for i := 0; i < *seeds; i++ {
 		seed := *start + int64(i)
 		v := o.Check(fuzzer.Gen(seed))
 		if err := enc.Encode(v); err != nil {
 			return err
 		}
+		prec.Add(v)
 		if v.OK() {
 			continue
 		}
@@ -89,6 +92,17 @@ func runFuzz(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "bside fuzz: %d seeds (%d..%d) in %v: %d violating\n",
 		*seeds, *start, *start+int64(*seeds)-1, time.Since(began).Round(time.Millisecond), failed)
+	fmt.Fprintf(stderr, "bside fuzz: precision over %d comparable seeds: mean identified %.2f vs resolver-off %.2f (truth %.2f), %d syscalls pruned across %d cases\n",
+		prec.CaseCount, prec.MeanIdentified, prec.MeanResolverOff, prec.MeanTruth, prec.TotalShrink, prec.ShrunkCases)
+	if *precision != "" {
+		data, err := json.MarshalIndent(&prec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*precision, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	if failed > 0 {
 		return fmt.Errorf("fuzz: %d of %d seeds violated the oracle", failed, *seeds)
 	}

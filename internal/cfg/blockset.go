@@ -68,6 +68,15 @@ func (s *BlockSet) Reset() {
 // Iteration order is the caller's choice — walking SortedBlocks and
 // filtering with Has yields address order without sorting.
 func (g *Graph) ReachableSet(roots ...uint64) *BlockSet {
+	return g.ReachableSetFiltered(nil, roots...)
+}
+
+// ReachableSetFiltered is ReachableSet restricted to edges allow
+// admits. The graph itself stays frozen — consumers that refine the
+// over-approximated indirect fan-out (the call-site resolver) express
+// the refinement as an edge filter at traversal time. A nil allow
+// admits every edge.
+func (g *Graph) ReachableSetFiltered(allow func(Edge) bool, roots ...uint64) *BlockSet {
 	seen := NewBlockSet(len(g.sortedBlocks))
 	var stack []*Block
 	for _, r := range roots {
@@ -79,6 +88,9 @@ func (g *Graph) ReachableSet(roots ...uint64) *BlockSet {
 		b := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range b.Succs {
+			if allow != nil && !allow(e) {
+				continue
+			}
 			if seen.Add(e.To) {
 				stack = append(stack, e.To)
 			}

@@ -86,6 +86,15 @@ func Recover(bin *elff.Binary, opts Options) (*Graph, error) {
 	// conservatively active from the start — missing one would be a
 	// false-negative source.
 	dataPtrs := scanDataPointers(bin)
+	// RELATIVE relocation targets are the linker's own record of planted
+	// pointers — the scan finds baked-in slot values, the relocations
+	// additionally vouch for slots the loader populates. Both feeds are
+	// deduplicated by the activation set.
+	for _, rel := range bin.Relocs {
+		if bin.CodeContains(rel.Target) {
+			dataPtrs = append(dataPtrs, rel.Target)
+		}
+	}
 	decodeRoots = append(decodeRoots, dataPtrs...)
 
 	if err := b.traverse(decodeRoots); err != nil {
@@ -715,16 +724,23 @@ func (b *builder) inferFunctions(g *Graph) {
 	}
 }
 
-// scanDataPointers finds 8-byte-aligned little-endian values in the
-// data region that land inside the code region.
+// scanDataPointers finds little-endian quads in the data region that
+// land inside the code region. The scan probes every 4-byte boundary,
+// not every 8-byte one: pointer tables are not required to sit at
+// 8-aligned addresses (a table preceded by a 4-byte field is packed to
+// 4-mod-8 slots), and a slot the scan cannot see is a handler the
+// refinement never activates — a soundness hole, not an imprecision
+// (found by the fuzzer as a missed runtime syscall; the repro is
+// internal/fuzzer/testdata/regressions/packed-table-blindness.json).
+// Overlapping windows can both hit code; the activation set dedups.
 func scanDataPointers(bin *elff.Binary) []uint64 {
 	var out []uint64
 	start := bin.CodeSize
-	// Align to the next 8-byte boundary relative to the base address.
-	for (bin.Base+start)%8 != 0 {
+	// Align to the next 4-byte boundary relative to the base address.
+	for (bin.Base+start)%4 != 0 {
 		start++
 	}
-	for off := start; off+8 <= uint64(len(bin.Blob)); off += 8 {
+	for off := start; off+8 <= uint64(len(bin.Blob)); off += 4 {
 		v := uint64(bin.Blob[off]) | uint64(bin.Blob[off+1])<<8 |
 			uint64(bin.Blob[off+2])<<16 | uint64(bin.Blob[off+3])<<24 |
 			uint64(bin.Blob[off+4])<<32 | uint64(bin.Blob[off+5])<<40 |

@@ -108,6 +108,29 @@ type Profile struct {
 	// a materialized address — the indirect-call shape whose targets
 	// only the data-pointer scan can surface.
 	TableHandlers int
+	// TableSection places the handler slot table in a named data
+	// section: "" (legacy — anonymous data, no section metadata),
+	// "rodata" (.rodata, read-only), "relro" (.data.rel.ro, read-only
+	// after relocation, every slot covered by a RELATIVE reloc), or
+	// "data" (writable .data — provenance must NOT trust it).
+	TableSection string
+	// TablePacked prefixes the slot table with a 4-byte field so the
+	// 8-byte slots land on 4-mod-8 addresses — the packed-table layout
+	// that exposed the stride-8 data-scan blindness.
+	TablePacked bool
+	// ColdHandlers adds syscall-bearing handlers whose pointers sit in
+	// table slots no call site ever loads: address-taken decoys that
+	// only data provenance can rule out. Their values come from the
+	// cold pool and never reach the dynamic ground truth, so excluding
+	// them is pure precision.
+	ColdHandlers int
+	// SigDecoys adds lea-address-taken decoy handlers that read an
+	// argument register before writing it. They are only prunable at
+	// the argument-less entry-top dispatch site this knob also emits
+	// (sig_slot is writable, so provenance alone cannot narrow that
+	// site) — the call-signature layer's workload. Cold values, never
+	// executed.
+	SigDecoys int
 	// WrapperDepth routes HotWrapper/ColdWrapper calls through a chain
 	// of that many argument-forwarding intermediate wrappers before the
 	// local register wrapper's syscall: the backward search must walk

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 
@@ -44,6 +45,11 @@ type builder struct {
 		chainDepth int
 	}
 	fillN int
+
+	// Decoy-handler value plans (see Profile.ColdHandlers / SigDecoys).
+	sigVal          uint64
+	coldHandlerVals []uint64
+	sigDecoyVals    []uint64
 }
 
 // BuildProgram synthesizes the binary for a profile. extLibIdx selects
@@ -61,12 +67,33 @@ func BuildProgram(p Profile) (*elff.Binary, error) {
 }
 
 func (s *builder) build() (*elff.Binary, error) {
+	// Cold decoy handlers are "address-taken through data, never
+	// invoked": without a single indirect site nothing wires them into
+	// the CFG, which would leave dead syscall-bearing code that even the
+	// resolver-off over-approximation cannot see (and the differential
+	// scanner would flag). Such profiles normalize to none.
+	if s.p.Handlers+s.p.TableHandlers+s.p.SigDecoys == 0 {
+		s.p.ColdHandlers = 0
+	}
 	p := s.p
 	b := s.b
 
-	hotVals := s.pick(hotPool, p.HotDirect+p.HotWrapper+p.HotStack+p.Handlers+p.TableHandlers+p.HotDeep)
-	coldVals := s.pick(coldPool, p.ColdDirect+p.ColdWrapper)
+	sigSite := 0
+	if p.SigDecoys > 0 {
+		sigSite = 1 // the entry-top dispatch through sig_slot
+	}
+	hotVals := s.pick(hotPool, p.HotDirect+p.HotWrapper+p.HotStack+p.Handlers+p.TableHandlers+p.HotDeep+sigSite)
+	coldVals := s.pick(coldPool, p.ColdDirect+p.ColdWrapper+p.ColdHandlers+p.SigDecoys)
 	denied := s.pick(deniedPool, p.DeniedVals)
+	// Decoy handlers draw from the tail of the cold plan; like the hot
+	// plan, oversized requests recycle values, which only weakens the
+	// measured shrink, never soundness.
+	coldAt := func(i int) uint64 {
+		if len(coldVals) == 0 {
+			return coldPool[i%len(coldPool)]
+		}
+		return coldVals[i%len(coldVals)]
+	}
 
 	// Compose the emission plan. The value pool is finite; plans larger
 	// than it (deep-search stress profiles) recycle values, which only
@@ -86,6 +113,17 @@ func (s *builder) build() (*elff.Binary, error) {
 	hotStackW = take(p.HotStack, patStackWrapper, true)
 	handlers = take(p.Handlers+p.TableHandlers, patHandler, true)
 	hotDeep = take(p.HotDeep, patDeep, true)
+	if sigSite > 0 {
+		s.sigVal = hotVals[idx%len(hotVals)]
+		idx++
+	}
+	decoyBase := p.ColdDirect + p.ColdWrapper
+	for i := 0; i < p.ColdHandlers; i++ {
+		s.coldHandlerVals = append(s.coldHandlerVals, coldAt(decoyBase+i))
+	}
+	for i := 0; i < p.SigDecoys; i++ {
+		s.sigDecoyVals = append(s.sigDecoyVals, coldAt(decoyBase+p.ColdHandlers+i))
+	}
 
 	// Pattern mix inside the direct sites: some cross-block beyond the
 	// Chestnut window, some through the stack.
@@ -109,7 +147,11 @@ func (s *builder) build() (*elff.Binary, error) {
 	}
 
 	var cold []emission
-	for i, v := range coldVals {
+	coldSites := coldVals
+	if n := p.ColdDirect + p.ColdWrapper; n < len(coldSites) {
+		coldSites = coldSites[:n] // the tail belongs to the decoy handlers
+	}
+	for i, v := range coldSites {
 		pat := patSameBlock
 		if i >= p.ColdDirect {
 			pat = patWrapper
@@ -150,6 +192,17 @@ func (s *builder) build() (*elff.Binary, error) {
 	b.Func("_start")
 	b.Endbr64()
 	b.SubRegImm(x86.RSP, 64)
+
+	// Entry-top dispatch: before any call instruction, no argument
+	// register carries a deliberate value (System V leaves them
+	// undefined at process entry), so a candidate that reads one cannot
+	// be the intended target — the call-signature layer's one provably
+	// safe pruning spot. The slot is writable on purpose: provenance
+	// must fall back here, leaving the site to the signature layer.
+	if p.SigDecoys > 0 {
+		b.MovRegMemRIP(x86.R13, "sig_slot")
+		b.CallReg(x86.R13)
+	}
 
 	// Split hot work into init / loop / shutdown segments so phase
 	// detection has temporal structure (§5.4).
@@ -208,6 +261,11 @@ func (s *builder) build() (*elff.Binary, error) {
 	// precise CFG in one round — where the disassembly budget dies.
 	for d := 0; d < s.decoyCount(); d++ {
 		b.Lea(x86.R13, fmt.Sprintf("decoy_%d", d))
+	}
+	// Signature decoys are lea-address-taken like any handler; only the
+	// argument-signature check can keep them out of the entry-top site.
+	for i := 0; i < p.SigDecoys; i++ {
+		b.Lea(x86.R13, fmt.Sprintf("sig_decoy_%d", i))
 	}
 
 	// Cold section: statically reachable, dynamically skipped (the
@@ -404,6 +462,33 @@ func (s *builder) emitHelpers(handlers []emission) {
 		b.XorRegReg32(x86.RAX, x86.RAX)
 		b.Ret()
 	}
+	if s.p.SigDecoys > 0 {
+		// The one target the entry-top site really calls: reads no
+		// argument registers, so the signature layer keeps it.
+		b.Func("sig_handler")
+		b.Endbr64()
+		b.MovRegImm32(x86.RAX, uint32(s.sigVal))
+		b.Syscall()
+		b.XorRegReg32(x86.RAX, x86.RAX)
+		b.Ret()
+	}
+	for i, v := range s.sigDecoyVals {
+		// Reads arg register 6 before any write: incompatible with a
+		// call site that provides no arguments.
+		b.Func(fmt.Sprintf("sig_decoy_%d", i))
+		b.Endbr64()
+		b.MovRegReg(x86.RBX, x86.R9)
+		b.MovRegImm32(x86.RAX, uint32(v))
+		b.Syscall()
+		b.Ret()
+	}
+	for i, v := range s.coldHandlerVals {
+		b.Func(fmt.Sprintf("cold_handler_%d", i))
+		b.Endbr64()
+		b.MovRegImm32(x86.RAX, uint32(v))
+		b.Syscall()
+		b.Ret()
+	}
 }
 
 // decoyInsns is the exact instruction count of one decoy body: 144
@@ -472,9 +557,27 @@ func (s *builder) emitData(handlers []emission) {
 	b.Align(8)
 	b.Label("cold_flag")
 	b.Quad(1)
+	if s.p.TablePacked {
+		// A 4-byte field ahead of the table packs the 8-byte slots to
+		// 4-mod-8 addresses — the layout the stride-8 scan missed.
+		b.Raw(0xEE, 0xEE, 0xEE, 0xEE)
+	}
+	b.Label("table_start")
 	for i := range handlers {
 		b.Label(fmt.Sprintf("handler_slot_%d", i))
 		b.QuadLabel(fmt.Sprintf("handler_%d", i))
+	}
+	for i := range s.coldHandlerVals {
+		// Slots no site ever loads: address-taken evidence without a
+		// caller.
+		b.Label(fmt.Sprintf("cold_slot_%d", i))
+		b.QuadLabel(fmt.Sprintf("cold_handler_%d", i))
+	}
+	b.Label("table_end")
+	b.Align(8)
+	if s.p.SigDecoys > 0 {
+		b.Label("sig_slot")
+		b.QuadLabel("sig_handler")
 	}
 	for _, name := range s.imports {
 		b.Label("got_" + name)
@@ -525,6 +628,28 @@ func (s *builder) finalize() (*elff.Binary, error) {
 		CodeSize:  syms["__code_end"] - mainBase,
 		HasUnwind: p.HasUnwind,
 		Symbols:   funcSyms(s.b, syms),
+	}
+	if p.TableSection != "" {
+		if start, end := syms["table_start"], syms["table_end"]; end > start {
+			name, writable := ".rodata", false
+			switch p.TableSection {
+			case "relro":
+				name = ".data.rel.ro"
+			case "data":
+				name, writable = ".data", true
+			}
+			spec.DataSections = append(spec.DataSections, elff.DataSection{
+				Name: name, Addr: start, Size: end - start, Writable: writable,
+			})
+			if p.TableSection == "relro" {
+				// RELRO tables are populated by the dynamic linker; each
+				// slot gets the RELATIVE reloc a real linker would emit.
+				for slot := start; slot+8 <= end; slot += 8 {
+					t := binary.LittleEndian.Uint64(img[slot-mainBase:])
+					spec.Relocs = append(spec.Relocs, elff.Reloc{Slot: slot, Target: t})
+				}
+			}
+		}
 	}
 	if s.dynamic {
 		spec.Needed = append([]string{"libc.so.6"}, s.neededLibs...)

@@ -102,6 +102,72 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDataSectionAndRelocRoundTrip(t *testing.T) {
+	spec, syms := buildSample(t, KindDynamic, 0x400000)
+	// Treat the tail of the blob (the GOT quad) as two overlapping data
+	// views to exercise both writabilities, and record one RELATIVE
+	// reloc pointing back into code.
+	slot := syms["got_write"]
+	spec.DataSections = []DataSection{
+		{Name: ".rodata", Addr: slot, Size: 8, Writable: false},
+		{Name: ".data", Addr: slot, Size: 8, Writable: true},
+	}
+	spec.Relocs = []Reloc{{Slot: slot, Target: syms["helper"]}}
+	data, err := Write(spec)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	bin, err := Read(data)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(bin.DataSections) != 2 ||
+		bin.DataSections[0] != spec.DataSections[0] ||
+		bin.DataSections[1] != spec.DataSections[1] {
+		t.Fatalf("data sections: %+v", bin.DataSections)
+	}
+	if len(bin.Relocs) != 1 || bin.Relocs[0] != spec.Relocs[0] {
+		t.Fatalf("relocs: %+v", bin.Relocs)
+	}
+	// The read-only view makes the quad visible through ROU64At; an
+	// address one past the window must not be.
+	if v, ok := bin.ROU64At(slot); !ok || v != 0 {
+		t.Fatalf("ROU64At(slot) = %#x, %v", v, ok)
+	}
+	if _, ok := bin.ROU64At(slot + 1); ok {
+		t.Fatal("ROU64At past the section window succeeded")
+	}
+	// Spec() must carry the new fields so WriteFile round-trips them.
+	rt := bin.Spec()
+	if len(rt.DataSections) != 2 || len(rt.Relocs) != 1 {
+		t.Fatalf("Spec() dropped resolver metadata: %+v", rt)
+	}
+	// The file must still satisfy debug/elf with the extra headers.
+	f, err := elf.NewFile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("debug/elf: %v", err)
+	}
+	defer f.Close()
+	sec := f.Section(".rodata")
+	if sec == nil {
+		t.Fatal("no .rodata header")
+	}
+	raw, err := sec.Data()
+	if err != nil || len(raw) != 8 {
+		t.Fatalf(".rodata data: %v len %d", err, len(raw))
+	}
+}
+
+func TestWriteRejectsDataSectionOutsideBlob(t *testing.T) {
+	spec, _ := buildSample(t, KindDynamic, 0x400000)
+	spec.DataSections = []DataSection{
+		{Name: ".rodata", Addr: spec.Base + uint64(len(spec.Blob)) - 4, Size: 8},
+	}
+	if _, err := Write(spec); err == nil {
+		t.Fatal("section spilling past the blob accepted")
+	}
+}
+
 // TestParsesWithDebugELF double-checks the writer output against the
 // standard library's notion of a valid ELF.
 func TestParsesWithDebugELF(t *testing.T) {

@@ -29,6 +29,12 @@ type Binary struct {
 	Symbols   map[string]uint64
 	HasUnwind bool
 
+	// DataSections are the non-executable ALLOC PROGBITS views into
+	// Blob; Relocs are the R_X86_64_RELATIVE entries from .rela.dyn.
+	// Both feed the indirect-call resolver's provenance layer.
+	DataSections []DataSection
+	Relocs       []Reloc
+
 	// img is the backing image when the binary was parsed through
 	// OpenBinary; Blob may alias it. Released by ReleaseImage.
 	img *Image
@@ -64,6 +70,25 @@ func (b *Binary) U64At(addr uint64) (uint64, bool) {
 		return 0, false
 	}
 	return binary.LittleEndian.Uint64(s), true
+}
+
+// ROU64At reads a little-endian quad at addr when the whole 8-byte
+// window lies inside a read-only data section. A load satisfied here is
+// immutable at runtime (modulo rebasing, which our fixed-base images do
+// not do), so the static value equals the runtime value — the contract
+// the resolver's provenance layer depends on. Returns false for
+// writable sections, unmapped addresses, and ranges the section
+// metadata does not cover.
+func (b *Binary) ROU64At(addr uint64) (uint64, bool) {
+	for _, ds := range b.DataSections {
+		if ds.Writable {
+			continue
+		}
+		if addr >= ds.Addr && addr-ds.Addr+8 <= ds.Size {
+			return b.U64At(addr)
+		}
+	}
+	return 0, false
 }
 
 // ExportAddr looks up an exported symbol.
@@ -102,6 +127,9 @@ func (b *Binary) Spec() Spec {
 		Needed:    b.Needed,
 		Symbols:   b.Symbols,
 		HasUnwind: b.HasUnwind,
+
+		DataSections: b.DataSections,
+		Relocs:       b.Relocs,
 	}
 }
 
@@ -244,6 +272,46 @@ func readHashed(data []byte, hash string, alias bool) (*Binary, error) {
 
 	if libs, err := f.ImportedLibraries(); err == nil {
 		out.Needed = libs
+	}
+
+	// Data-section views over the blob. Sections outside the single
+	// PT_LOAD region (real multi-segment binaries) are skipped: the
+	// resolver can only vouch for bytes it can actually read.
+	for _, s := range f.Sections {
+		if s.Type != elf.SHT_PROGBITS || s.Flags&elf.SHF_ALLOC == 0 ||
+			s.Flags&elf.SHF_EXECINSTR != 0 {
+			continue
+		}
+		if s.Addr < out.Base || s.Size > uint64(len(out.Blob)) ||
+			s.Addr-out.Base > uint64(len(out.Blob))-s.Size {
+			continue
+		}
+		out.DataSections = append(out.DataSections, DataSection{
+			Name:     s.Name,
+			Addr:     s.Addr,
+			Size:     s.Size,
+			Writable: s.Flags&elf.SHF_WRITE != 0,
+		})
+	}
+
+	// RELATIVE relocations record where the linker planted code/data
+	// pointers in data memory — provenance the CFG's table scan and the
+	// resolver both consume.
+	if rd := f.Section(".rela.dyn"); rd != nil {
+		data, err := rd.Data()
+		if err != nil {
+			return nil, fmt.Errorf(".rela.dyn: %w", err)
+		}
+		for off := 0; off+24 <= len(data); off += 24 {
+			info := binary.LittleEndian.Uint64(data[off+8:])
+			if info&0xFFFFFFFF != rX8664Relative {
+				continue
+			}
+			out.Relocs = append(out.Relocs, Reloc{
+				Slot:   binary.LittleEndian.Uint64(data[off:]),
+				Target: binary.LittleEndian.Uint64(data[off+16:]),
+			})
+		}
 	}
 
 	if syms, err := f.Symbols(); err == nil {

@@ -54,6 +54,30 @@ type Import struct {
 	SlotAddr uint64
 }
 
+// DataSection names a sub-range of the loadable blob that holds data
+// rather than code (a pointer table in .rodata, a RELRO segment, a
+// writable .data region). The writer emits these as alias section
+// headers over the single PT_LOAD blob — they carry no bytes of their
+// own, only a typed view. Non-writable sections are immutable at
+// runtime, which is what lets the indirect-call resolver treat loads
+// from them as link-time constants.
+type DataSection struct {
+	Name     string
+	Addr     uint64
+	Size     uint64
+	Writable bool
+}
+
+// Reloc is one R_X86_64_RELATIVE dynamic relocation: at load time the
+// dynamic linker writes base+Target into the 8-byte slot at Slot. Our
+// images are linked at their load address, so the slot already holds
+// Target — the relocation records code-pointer provenance rather than
+// patching anything.
+type Reloc struct {
+	Slot   uint64
+	Target uint64
+}
+
 // Spec describes an image to write.
 type Spec struct {
 	Kind      Kind
@@ -67,6 +91,11 @@ type Spec struct {
 	Symbols   map[string]uint64 // local symbols for .symtab (may be nil)
 	HasUnwind bool              // emit the .bside.unwind marker section
 	Soname    string            // informational, stored in .symtab comment
+
+	// DataSections are alias views over sub-ranges of Blob; see the
+	// DataSection doc. Relocs become .rela.dyn RELATIVE entries.
+	DataSections []DataSection
+	Relocs       []Reloc
 }
 
 // ELF constants not worth importing debug/elf for on the write side.
@@ -96,6 +125,7 @@ const (
 	dtJmpRel   = 23
 
 	rX8664JumpSlot = 7
+	rX8664Relative = 8
 
 	stbGlobal = 1
 	sttFunc   = 2
@@ -128,6 +158,9 @@ type section struct {
 	link, info         uint32
 	addralign, entsize uint64
 	data               []byte
+	// alias marks a header-only view into the blob: it contributes no
+	// file bytes of its own and its offset is derived from its vaddr.
+	alias bool
 }
 
 // Write serializes the spec into an ELF64 image.
@@ -217,6 +250,30 @@ func Write(spec Spec) ([]byte, error) {
 		sections = append(sections, &section{name: ".bside.unwind", typ: shtProgbits,
 			size: 8, addralign: 1, data: []byte("BSUNWIND")})
 	}
+	for _, ds := range spec.DataSections {
+		if ds.Addr < spec.Base || ds.Size > uint64(len(spec.Blob)) ||
+			ds.Addr-spec.Base > uint64(len(spec.Blob))-ds.Size {
+			return nil, fmt.Errorf("elff: data section %s outside blob", ds.Name)
+		}
+		flags := uint32(shfAlloc)
+		if ds.Writable {
+			flags |= shfWrite
+		}
+		sections = append(sections, &section{name: ds.Name, typ: shtProgbits,
+			flags: flags, addr: ds.Addr, size: ds.Size, addralign: 1, alias: true})
+	}
+	var relaDyn bytes.Buffer
+	for _, r := range spec.Relocs {
+		var e [24]byte
+		binary.LittleEndian.PutUint64(e[0:], r.Slot)
+		binary.LittleEndian.PutUint64(e[8:], rX8664Relative)
+		binary.LittleEndian.PutUint64(e[16:], r.Target)
+		relaDyn.Write(e[:])
+	}
+	if relaDyn.Len() > 0 {
+		sections = append(sections, &section{name: ".rela.dyn", typ: shtRela,
+			size: uint64(relaDyn.Len()), addralign: 8, entsize: 24, data: relaDyn.Bytes()})
+	}
 	shstr := newStrtab()
 	var shstrData []byte
 	shstrSec := &section{name: ".shstrtab", typ: shtStrtab, addralign: 1}
@@ -238,6 +295,12 @@ func Write(spec Spec) ([]byte, error) {
 	sections[1].off = blobOff
 	off = blobOff + uint64(len(spec.Blob))
 	for _, s := range sections[2:] {
+		if s.alias {
+			// Views into the blob: the file range is wherever the blob
+			// put those virtual addresses.
+			s.off = blobOff + (s.addr - spec.Base)
+			continue
+		}
 		align := s.addralign
 		if align == 0 {
 			align = 1
@@ -292,8 +355,12 @@ func Write(spec Spec) ([]byte, error) {
 	binary.LittleEndian.PutUint64(ph[48:], 0x1000)
 	out.Write(ph[:])
 
-	// Section contents.
+	// Section contents. Alias sections contribute no bytes — their file
+	// ranges live inside the blob already written for .text.
 	for _, s := range sections[1:] {
+		if s.alias {
+			continue
+		}
 		pad := int(s.off) - out.Len()
 		if pad < 0 {
 			return nil, fmt.Errorf("elff: layout error for %s", s.name)

@@ -78,6 +78,21 @@ func Gen(seed int64) Case {
 	p.HotStack = rng.Intn(3)
 	p.Handlers = rng.Intn(3)
 	p.TableHandlers = rng.Intn(3)
+	// Table placement: anonymous data, a read-only section, a RELRO
+	// section with RELATIVE relocs, or writable .data — the provenance
+	// layer must narrow the first three kinds of sites and must NOT
+	// trust the fourth. Packing shifts slots off 8-byte alignment.
+	p.TableSection = []string{"", "rodata", "relro", "data"}[rng.Intn(4)]
+	p.TablePacked = rng.Intn(2) == 0
+	if rng.Intn(2) == 0 {
+		p.SigDecoys = rng.Intn(3)
+	}
+	// Cold handlers need at least one indirect site to be wired into the
+	// CFG; the synthesizer normalizes unsatisfiable combinations away,
+	// so only draw them when they can exist.
+	if p.Handlers+p.TableHandlers+p.SigDecoys > 0 {
+		p.ColdHandlers = rng.Intn(3)
+	}
 	p.WrapperDepth = rng.Intn(5)
 	if rng.Intn(4) == 0 {
 		// Occasional deep-search site, shallow enough to stay cheap.

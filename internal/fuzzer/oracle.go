@@ -38,10 +38,20 @@ type Verdict struct {
 	ImageSHA256 string `json:"image_sha256"`
 	// Truth is the emulator-observed syscall set, sorted.
 	Truth []uint64 `json:"truth"`
-	// Identified is B-Side's result on the first analysis leg.
+	// Identified is B-Side's result on the first analysis leg (resolver
+	// at its default layers).
 	Identified []uint64 `json:"identified"`
 	FailOpen   bool     `json:"fail_open,omitempty"`
 	Wrappers   int      `json:"wrappers"`
+	// ResolverOff is the reference leg's identified set with the
+	// indirect-call resolver disabled — the pre-resolver
+	// over-approximation. It is checked for soundness against Truth and
+	// must be a superset of Identified (the resolver may only shrink).
+	ResolverOff []uint64 `json:"resolver_off,omitempty"`
+	// Precision quantifies the resolver's effect on this case; nil when
+	// either leg failed open or failed outright (set sizes would not be
+	// comparable).
+	Precision *Precision `json:"precision,omitempty"`
 
 	// The three oracle dimensions.
 	Sound       bool `json:"sound"`
@@ -53,6 +63,25 @@ type Verdict struct {
 	// Err records an infrastructure failure (generator, emulator, or
 	// analysis error) that prevented a full verdict.
 	Err string `json:"error,omitempty"`
+}
+
+// Precision is the per-case identified-set-size record: how much the
+// layered resolver shrank the set, and how much over-approximation
+// remains against the emulator truth. Aggregated over a fixed seed
+// corpus this is the precision metric the bench gate tracks.
+type Precision struct {
+	// TruthCount is |emulator-observed set|.
+	TruthCount int `json:"truth_count"`
+	// IdentifiedCount is |identified| with the resolver at its default.
+	IdentifiedCount int `json:"identified_count"`
+	// ResolverOffCount is |identified| with the resolver disabled.
+	ResolverOffCount int `json:"resolver_off_count"`
+	// Shrink is ResolverOffCount - IdentifiedCount: syscalls the
+	// resolver proved unreachable (>= 0 by the shrink-only invariant).
+	Shrink int `json:"shrink"`
+	// Excess is IdentifiedCount - TruthCount: the remaining
+	// over-approximation (>= 0 by the soundness invariant).
+	Excess int `json:"excess"`
 }
 
 // OK reports whether the case passed every oracle dimension.
@@ -151,6 +180,34 @@ func (o *Oracle) Check(c Case) *Verdict {
 	}
 	v.Truth = sortedSet(m.SyscallSet())
 
+	// Resolver-off reference leg, deliberately OUTSIDE the invariance
+	// matrix: with the indirect-call resolver disabled the identified
+	// set legitimately differs from the matrix legs (it is the
+	// pre-resolver over-approximation). It anchors three checks below —
+	// truth ⊆ off (the old behavior stays sound), on ⊆ off (the
+	// resolver only ever shrinks), and the sweep legs' scanner
+	// containment (a scan-resolved value the resolver pruned must still
+	// be inside the over-approximation).
+	var offFP *fingerprint
+	offRes, offErr := bside.NewAnalyzer(bside.Options{
+		LibraryDir:     o.opts.Universe.Dir,
+		IntraWorkers:   1,
+		ResolverLayers: -1,
+	}).AnalyzeFile(binPath)
+	if offErr != nil {
+		v.Violations = append(v.Violations, "resolver-off: analysis failed: "+offErr.Error())
+	} else {
+		offFP = o.fingerprintOf("resolver-off", offRes)
+		v.ResolverOff = offFP.Syscalls
+	}
+	offHas := func(n uint64) bool {
+		if offFP == nil || offFP.FailOpen {
+			return true // effective set is unknown or the full table
+		}
+		i := sort.Search(len(offFP.Syscalls), func(i int) bool { return offFP.Syscalls[i] >= n })
+		return i < len(offFP.Syscalls) && offFP.Syscalls[i] == n
+	}
+
 	// The analysis-leg matrix. Every leg must produce a byte-identical
 	// fingerprint; the first leg doubles as the soundness subject.
 	cacheDir := filepath.Join(o.opts.Dir, fmt.Sprintf("cache-%d", c.Seed))
@@ -238,12 +295,13 @@ func (o *Oracle) Check(c Case) *Verdict {
 		}},
 		// Fleet axis: the sweep harness must be a transparent carrier
 		// too — same result through the tree walker, with the
-		// differential scanner agreeing (no scan-resolved syscall
-		// outside the identified set) — on both image frontends, so an
-		// mmap-vs-read difference anywhere in the pipeline shows up as
-		// leg drift.
-		leg{"sweep", o.sweepRun(c.Seed, binPath, false)},
-		leg{"sweep-nommap", o.sweepRun(c.Seed, binPath, true)},
+		// differential scanner contained (every scan-resolved syscall
+		// inside the resolver-off over-approximation; the scanner reads
+		// dead decoy code the resolver legitimately prunes from the
+		// identified set) — on both image frontends, so an mmap-vs-read
+		// difference anywhere in the pipeline shows up as leg drift.
+		leg{"sweep", o.sweepRun(c.Seed, binPath, false, offHas)},
+		leg{"sweep-nommap", o.sweepRun(c.Seed, binPath, true, offHas)},
 		// Service axis: the HTTP frontend must be a transparent carrier.
 		// The leg uploads the image through a real (in-process) server
 		// and requires the response body to be byte-identical to the
@@ -334,16 +392,51 @@ func (o *Oracle) Check(c Case) *Verdict {
 		}
 	}
 
+	// The resolver-off reference must be sound on its own (the layered
+	// resolver is not allowed to paper over a regression in the base
+	// analysis), and the resolver must be shrink-only: anything
+	// identified with it on must also be identified with it off.
+	if offFP != nil {
+		if !offFP.FailOpen {
+			for _, n := range v.Truth {
+				if !offHas(n) {
+					v.Sound = false
+					v.Violations = append(v.Violations, fmt.Sprintf(
+						"resolver-off soundness: syscall %d observed at runtime but not identified", n))
+				}
+			}
+			if !first.FailOpen {
+				for _, n := range first.Syscalls {
+					if !offHas(n) {
+						v.Sound = false
+						v.Violations = append(v.Violations, fmt.Sprintf(
+							"shrink-only: syscall %d identified with the resolver on but not off", n))
+					}
+				}
+				v.Precision = &Precision{
+					TruthCount:       len(v.Truth),
+					IdentifiedCount:  len(first.Syscalls),
+					ResolverOffCount: len(offFP.Syscalls),
+					Shrink:           len(offFP.Syscalls) - len(first.Syscalls),
+					Excess:           len(first.Syscalls) - len(v.Truth),
+				}
+			}
+		}
+	}
+
 	o.checkBaselines(v, bin)
 	return v
 }
 
 // sweepRun builds one sweep invariance leg: the case's binary alone in
 // a scratch tree, swept with the differential scanner on. The leg
-// fails on any per-binary failure, on a scanner disagreement, and (via
-// the caller's fingerprint comparison) on any result drift against the
-// direct-analysis legs.
-func (o *Oracle) sweepRun(seed int64, binPath string, noMmap bool) func() (*bside.Analysis, error) {
+// fails on any per-binary failure, on a scanner value escaping the
+// resolver-off over-approximation (offHas), and (via the caller's
+// fingerprint comparison) on any result drift against the
+// direct-analysis legs. Scanner values inside offHas but outside the
+// resolver-on set are expected: the linear scan reads address-taken
+// dead code the resolver proved unreachable.
+func (o *Oracle) sweepRun(seed int64, binPath string, noMmap bool, offHas func(uint64) bool) func() (*bside.Analysis, error) {
 	return func() (*bside.Analysis, error) {
 		frontend := "mmap"
 		if noMmap {
@@ -384,8 +477,12 @@ func (o *Oracle) sweepRun(seed int64, binPath string, noMmap bool) func() (*bsid
 			return nil, fmt.Errorf("sweep: analyzed=%d failed=%d phases=%v", sum.Analyzed, sum.Failed, sum.FailurePhases)
 		}
 		if sum.ScanDisagreements != 0 {
-			return nil, fmt.Errorf("sweep: scan-resolved syscalls %v outside the identified set %v",
-				res.Diff.ScanOnly, res.Syscalls)
+			for _, n := range res.Diff.ScanOnly {
+				if !offHas(n) {
+					return nil, fmt.Errorf("sweep: scan-resolved syscall %d outside both the identified set %v and the resolver-off over-approximation",
+						n, res.Syscalls)
+				}
+			}
 		}
 		return res.Analysis, nil
 	}

@@ -1,0 +1,59 @@
+package fuzzer
+
+// PrecisionCase is one seed's row of the precision report.
+type PrecisionCase struct {
+	Seed int64  `json:"seed"`
+	Name string `json:"name"`
+	Precision
+}
+
+// PrecisionReport aggregates the resolver's effect across a seed
+// corpus: the per-seed identified-set sizes plus corpus means. It is
+// the artifact the nightly fuzz job publishes, and the definition
+// behind the bench gate's mean-identified-set-size metric — a
+// regression here means the resolver stopped shrinking (or, caught
+// earlier by the oracle's shrink-only and soundness checks, started
+// cutting too deep).
+type PrecisionReport struct {
+	// Cases lists every checked seed that produced comparable sets
+	// (neither leg failed open or errored), in check order.
+	Cases []PrecisionCase `json:"cases"`
+	// CaseCount is len(Cases); Skipped counts checked seeds without a
+	// comparable precision record.
+	CaseCount int `json:"case_count"`
+	Skipped   int `json:"skipped"`
+	// MeanTruth, MeanIdentified and MeanResolverOff are the mean set
+	// sizes over Cases (0 when empty).
+	MeanTruth       float64 `json:"mean_truth"`
+	MeanIdentified  float64 `json:"mean_identified"`
+	MeanResolverOff float64 `json:"mean_resolver_off"`
+	// TotalShrink sums the per-case shrink; ShrunkCases counts cases
+	// where the resolver removed at least one syscall.
+	TotalShrink int `json:"total_shrink"`
+	ShrunkCases int `json:"shrunk_cases"`
+}
+
+// Add folds one verdict into the report. Verdicts without a precision
+// record (fail-open or failed legs) count as skipped.
+func (r *PrecisionReport) Add(v *Verdict) {
+	if v.Precision == nil {
+		r.Skipped++
+		return
+	}
+	r.Cases = append(r.Cases, PrecisionCase{Seed: v.Seed, Name: v.Name, Precision: *v.Precision})
+	r.CaseCount = len(r.Cases)
+	r.TotalShrink += v.Precision.Shrink
+	if v.Precision.Shrink > 0 {
+		r.ShrunkCases++
+	}
+	var truth, ident, off int
+	for _, c := range r.Cases {
+		truth += c.TruthCount
+		ident += c.IdentifiedCount
+		off += c.ResolverOffCount
+	}
+	n := float64(len(r.Cases))
+	r.MeanTruth = float64(truth) / n
+	r.MeanIdentified = float64(ident) / n
+	r.MeanResolverOff = float64(off) / n
+}

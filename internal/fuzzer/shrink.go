@@ -86,6 +86,8 @@ func shrinkCandidates(p corpus.Profile) []corpus.Profile {
 		{"DeepBlocks", func(q *corpus.Profile) *int { return &q.DeepBlocks }, 0},
 		{"ColdDirect", func(q *corpus.Profile) *int { return &q.ColdDirect }, 0},
 		{"ColdWrapper", func(q *corpus.Profile) *int { return &q.ColdWrapper }, 0},
+		{"ColdHandlers", func(q *corpus.Profile) *int { return &q.ColdHandlers }, 0},
+		{"SigDecoys", func(q *corpus.Profile) *int { return &q.SigDecoys }, 0},
 		{"StackedTruth", func(q *corpus.Profile) *int { return &q.StackedTruth }, 0},
 		{"DeniedVals", func(q *corpus.Profile) *int { return &q.DeniedVals }, 0},
 		{"HotLibc", func(q *corpus.Profile) *int { return &q.HotLibc }, 0},
@@ -112,6 +114,12 @@ func shrinkCandidates(p corpus.Profile) []corpus.Profile {
 	}
 	if p.HasUnwind {
 		add(func(q *corpus.Profile) { q.HasUnwind = false })
+	}
+	if p.TableSection != "" {
+		add(func(q *corpus.Profile) { q.TableSection = "" })
+	}
+	if p.TablePacked {
+		add(func(q *corpus.Profile) { q.TablePacked = false })
 	}
 	return out
 }

@@ -78,6 +78,16 @@ type Config struct {
 	// identical functions are analyzed once per machine, not just once
 	// per process.
 	MemoStore *cache.Store
+	// ResolverLayers selects the depth of the layered indirect-call
+	// resolver (see resolver.go), which refines the per-site fan-out of
+	// indirect calls and jumps before reachability and the backward
+	// search run: -1 disables it (every site reaches the whole active
+	// address-taken set, the pre-resolver behavior), 1 enables
+	// code-pointer provenance through immutable data, 2 — the default
+	// for the zero value — adds call-signature pruning on top. Every
+	// setting is sound; higher layers only shrink the identified set.
+	// The value participates in memo and summary-cache fingerprints.
+	ResolverLayers int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SyscallUpper == 0 || c.SyscallUpper > linux.SyscallSetBits {
 		c.SyscallUpper = linux.SyscallSetBits
+	}
+	if c.ResolverLayers == 0 {
+		c.ResolverLayers = 2
 	}
 	return c
 }
@@ -215,6 +228,11 @@ type Pass struct {
 	machine *symex.Machine
 	reach   *cfg.BlockSet
 
+	// siteTargets is the resolver's candidate-target index: site block
+	// ID -> refined target set, nil when the resolver is off or found
+	// nothing to refine. It never adds edges — allowEdge only filters.
+	siteTargets map[int]*cfg.BlockSet
+
 	sites     []*cfg.Block // reachable syscall sites, address order
 	importSet map[string]bool
 	imports   []string
@@ -249,7 +267,10 @@ func Prepare(g *cfg.Graph, conf Config) *Pass {
 	numBlocks := g.NumBlocks()
 	p.scratchPool.New = func() any { return newSearchScratch(numBlocks) }
 	p.setPool.New = func() any { return cfg.NewBlockSet(numBlocks) }
-	p.reach = g.ReachableSet(g.Roots...)
+	if conf.ResolverLayers > 0 && g.Bin != nil {
+		p.siteTargets = resolveIndirectSites(g, conf.ResolverLayers)
+	}
+	p.reach = g.ReachableSetFiltered(p.allowEdge, g.Roots...)
 
 	p.importSet = make(map[string]bool)
 	for _, blk := range g.SortedBlocks() {
@@ -535,6 +556,12 @@ func (p *Pass) callSitesOf(entry uint64) []*cfg.Block {
 		if e.Kind != cfg.EdgeCall && e.Kind != cfg.EdgeIndirectCall {
 			continue
 		}
+		// An indirect caller the resolver excluded does not actually
+		// reach this function; attributing its values here would undo
+		// the refinement.
+		if !p.allowEdge(e) {
+			continue
+		}
 		if !p.reach.Has(e.From) || !seen.Add(e.From) {
 			continue
 		}
@@ -569,7 +596,7 @@ func (p *Pass) importCallSites(name string) []*cfg.Block {
 		}
 		if stub, ok := p.g.BlockAt(stubAddr); ok {
 			for _, e := range stub.Preds {
-				if e.Kind == cfg.EdgeCall || e.Kind == cfg.EdgeIndirectCall {
+				if (e.Kind == cfg.EdgeCall || e.Kind == cfg.EdgeIndirectCall) && p.allowEdge(e) {
 					add(e.From)
 				}
 			}

@@ -193,8 +193,9 @@ func (m *Memo) remember(key string, rec any) {
 // results); the budget's deadline is excluded (wall-clock state, and
 // budget-shaped results are never stored).
 func memoConfKey(c Config) string {
-	return fmt.Sprintf("bfs=%d,fr=%d,sp=%d,up=%d,bud=%d/%d/%d",
+	return fmt.Sprintf("bfs=%d,fr=%d,sp=%d,up=%d,rl=%d,bud=%d/%d/%d",
 		c.MaxBFSDepth, c.MaxFrontier, c.StackParams, c.SyscallUpper,
+		c.ResolverLayers,
 		c.Budget.MaxSteps, c.Budget.MaxForks, c.Budget.MaxVisits)
 }
 

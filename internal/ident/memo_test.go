@@ -159,6 +159,77 @@ func TestMemoPersistsThroughCacheStore(t *testing.T) {
 	}
 }
 
+// TestMemoConfKeyCarriesResolverConfig: the resolver knob is part of
+// every memo key, so per-function summaries recorded under one
+// resolver configuration are unreadable under another. The zero value
+// normalizes to the default layer before keys are built (Prepare runs
+// withDefaults first), so zero and explicit-default share entries.
+func TestMemoConfKeyCarriesResolverConfig(t *testing.T) {
+	key := func(rl int) string {
+		return memoConfKey(Config{ResolverLayers: rl}.withDefaults())
+	}
+	if key(0) != key(2) {
+		t.Fatalf("zero and explicit default must share memo keys:\n%q\nvs\n%q", key(0), key(2))
+	}
+	seen := map[string]int{}
+	for _, rl := range []int{-1, 1, 2} {
+		k := key(rl)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("resolver settings %d and %d share memo conf key %q", prev, rl, k)
+		}
+		seen[k] = rl
+	}
+}
+
+// TestFuncsumStoreNotSharedAcrossResolverConfigs: a persisted funcsum
+// recorded with the resolver off must never be replayed into a
+// resolver-on analysis (or vice versa) — the recorded search could
+// have walked edges the other configuration prunes.
+func TestFuncsumStoreNotSharedAcrossResolverConfigs(t *testing.T) {
+	store, err := cache.Open(filepath.Join(t.TempDir(), "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same deep fork-free chain as the persistence test: big enough to
+	// clear the persistMinBlocks gate and reach the disk tier.
+	bin, _ := testbin.Build(t, elff.KindStatic, func(b *asm.Builder) {
+		b.Func("_start")
+		b.MovRegImm32(x86.RAX, 1)
+		for i := 0; i < 24; i++ {
+			b.JmpLabel("n" + string(rune('a'+i)))
+			b.Label("n" + string(rune('a'+i)))
+		}
+		b.Syscall()
+		b.Ret()
+	}, nil)
+	g, err := cfg.Recover(bin, cfg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1 := &Memo{}
+	if _, err := Analyze(g, Config{Memo: m1, MemoStore: store, ResolverLayers: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if store.Stats().Stores == 0 {
+		t.Fatal("resolver-off run persisted nothing")
+	}
+
+	// A fresh memo under the default resolver config: the stored
+	// entries carry the resolver-off conf key, so nothing may hit.
+	m2 := &Memo{}
+	rep, err := Analyze(g, Config{Memo: m2, MemoStore: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := m2.Stats().Hits; hits != 0 {
+		t.Fatalf("resolver-on analysis replayed %d resolver-off funcsum entries", hits)
+	}
+	if !reflect.DeepEqual(rep.Syscalls, []uint64{1}) {
+		t.Fatalf("recomputed result wrong: %v", rep.Syscalls)
+	}
+}
+
 // TestCrossFunctionSearchIsNotMemoized: a site whose value flows in
 // from a caller makes the backward search leave the containing
 // function; such results must never enter the memo (their content key

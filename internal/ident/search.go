@@ -90,6 +90,7 @@ func (p *Pass) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
 	// accumulate this search's own budget consumption for replay.
 	contained := fnOK
 	budgetShaped := false
+	resolverSensitive := false
 	steps, forks := 0, 0
 
 	query := func(st *symex.State) symex.Value {
@@ -132,7 +133,9 @@ func (p *Pass) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
 
 	if !selfConcrete && !res.FailOpen {
 		sc.visited.Add(target)
-		sc.pending = predBlocksInto(target, sc.predSeen, sc.pending)
+		var sawInd bool
+		sc.pending, sawInd = p.predBlocksInto(target, sc.predSeen, sc.pending)
+		resolverSensitive = resolverSensitive || sawInd
 		if len(sc.pending) == 0 {
 			// Nothing above the target can define the value.
 			res.FailOpen = true
@@ -162,7 +165,8 @@ func (p *Pass) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
 					// Immediate-defining: prune this path.
 					continue
 				}
-				sc.preds = predBlocksInto(blk, sc.predSeen, sc.preds[:0])
+				sc.preds, sawInd = p.predBlocksInto(blk, sc.predSeen, sc.preds[:0])
+				resolverSensitive = resolverSensitive || sawInd
 				if len(sc.preds) == 0 {
 					// The search ran off the top of the program (or an
 					// unreferenced root) without bounding the value.
@@ -187,6 +191,16 @@ func (p *Pass) identify(target *cfg.Block, param *symex.ParamRef) SiteResult {
 	res.Syscalls = sc.values.Append(make([]uint64, 0, sc.values.Len()))
 	p.scratchPool.Put(sc)
 
+	// With the resolver active, a search that saw indirect predecessor
+	// edges is a function of the image-wide candidate index, not of the
+	// function's content alone: another image with identical function
+	// bytes can wire (or filter) those edges differently, so such
+	// results stay out of the memo. Resolver-off searches keep the
+	// legacy gating; the two never share entries because the resolver
+	// setting is part of memoConfKey.
+	if p.conf.ResolverLayers > 0 && resolverSensitive {
+		memoKey = ""
+	}
 	if memoKey != "" && contained && !budgetShaped {
 		store := p.conf.MemoStore
 		if res.BlocksExplored < persistMinBlocks {
@@ -238,12 +252,23 @@ func (p *Pass) allInFunc(fn *cfg.Func, blks []*cfg.Block) bool {
 
 // predBlocksInto appends the deduplicated predecessor blocks of b
 // across every edge kind (fall, jump, call, call-fall, indirect) to
-// out, in ascending address order. seen is caller-owned scratch; it is
-// reset here.
-func predBlocksInto(b *cfg.Block, seen *cfg.BlockSet, out []*cfg.Block) []*cfg.Block {
+// out, in ascending address order, skipping indirect predecessors the
+// resolver has excluded. seen is caller-owned scratch; it is reset
+// here. sawIndirect reports whether ANY indirect predecessor edge was
+// encountered (filtered or not): a search that touched one depends on
+// the image-wide candidate index rather than on function content
+// alone, so its result must not enter the content-keyed memo while
+// the resolver is active.
+func (p *Pass) predBlocksInto(b *cfg.Block, seen *cfg.BlockSet, out []*cfg.Block) (_ []*cfg.Block, sawIndirect bool) {
 	seen.Reset()
 	start := len(out)
 	for _, e := range b.Preds {
+		if e.Kind == cfg.EdgeIndirectCall || e.Kind == cfg.EdgeIndirectJump {
+			sawIndirect = true
+			if !p.allowEdge(e) {
+				continue
+			}
+		}
 		if e.From == b || !seen.Add(e.From) {
 			continue
 		}
@@ -251,5 +276,5 @@ func predBlocksInto(b *cfg.Block, seen *cfg.BlockSet, out []*cfg.Block) []*cfg.B
 	}
 	added := out[start:]
 	sort.Slice(added, func(i, j int) bool { return added[i].Addr < added[j].Addr })
-	return out
+	return out, sawIndirect
 }

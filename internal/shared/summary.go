@@ -67,8 +67,16 @@ func (s *Summary) normalize() {
 // interfaces.
 func (a *Analyzer) confFingerprint(kind string) string {
 	c := a.Config
-	fp := fmt.Sprintf("bfs=%d frontier=%d stack=%d upper=%d",
-		c.MaxBFSDepth, c.MaxFrontier, c.StackParams, c.SyscallUpper)
+	// ResolverLayers is normalized exactly as ident.Config.withDefaults
+	// does (zero means the default, layer 2), so an explicit default and
+	// the zero value share cache entries — they produce identical
+	// results — while any other layer setting gets its own namespace.
+	rl := c.ResolverLayers
+	if rl == 0 {
+		rl = 2
+	}
+	fp := fmt.Sprintf("bfs=%d frontier=%d stack=%d upper=%d resolver=%d",
+		c.MaxBFSDepth, c.MaxFrontier, c.StackParams, c.SyscallUpper, rl)
 	if kind == kindProgram {
 		fp += fmt.Sprintf(" maxcfg=%d", a.MaxCFGInsns)
 	}

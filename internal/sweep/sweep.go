@@ -109,10 +109,14 @@ type Result struct {
 // Summary is the fleet-level rollup.
 type Summary struct {
 	// Files counts regular files the walker saw; ELFs the subset that
-	// passed the x86-64 ELF sniff; Skipped the rest.
-	Files   int64 `json:"files"`
-	ELFs    int64 `json:"elfs"`
-	Skipped int64 `json:"skipped"`
+	// passed the x86-64 ELF sniff; Skipped the rest. SkippedArches
+	// histograms the skipped subset that is a valid ELF executable or
+	// shared object for an unsupported machine (keyed by architecture),
+	// so fleet coverage of a mixed-arch tree is visible at a glance.
+	Files         int64            `json:"files"`
+	ELFs          int64            `json:"elfs"`
+	Skipped       int64            `json:"skipped"`
+	SkippedArches map[string]int64 `json:"skipped_arches,omitempty"`
 	// Analyzed counts successful analyses; Warm the subset served
 	// from the persistent cache; Failed the candidates whose analysis
 	// (or scan) failed.
@@ -150,8 +154,9 @@ type state struct {
 	hist     metrics.Histogram
 	start    time.Time
 
-	mu      sync.Mutex // serializes emits and the phase map
+	mu      sync.Mutex // serializes emits and the phase/arch maps
 	phases  map[string]int64
+	arches  map[string]int64
 	emitted int64
 }
 
@@ -199,6 +204,12 @@ func (st *state) summaryLocked() *Summary {
 			s.FailurePhases[k] = v
 		}
 	}
+	if len(st.arches) > 0 {
+		s.SkippedArches = make(map[string]int64, len(st.arches))
+		for k, v := range st.arches {
+			s.SkippedArches[k] = v
+		}
+	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		s.BinariesPerSec = float64(s.Analyzed) / secs
 	}
@@ -229,7 +240,7 @@ func Run(ctx context.Context, root string, opts Options) (*Summary, error) {
 	if depth <= 0 {
 		depth = 256
 	}
-	st := &state{opts: opts, phases: make(map[string]int64), start: time.Now()}
+	st := &state{opts: opts, phases: make(map[string]int64), arches: make(map[string]int64), start: time.Now()}
 
 	// Bounded queue: the walker blocks when the workers fall behind,
 	// so the in-flight path set never exceeds depth + jobs however
@@ -290,14 +301,19 @@ func Run(ctx context.Context, root string, opts Options) (*Summary, error) {
 
 // sweepOne takes one regular file from sniff to emitted result.
 func (st *state) sweepOne(ctx context.Context, path string) {
-	ok, err := sniffELF(path)
+	sn, err := sniffELF(path)
 	if err != nil {
 		st.fail("open")
 		st.emit(&Result{Path: path, Phase: "open", Error: err.Error()})
 		return
 	}
-	if !ok {
+	if !sn.candidate {
 		st.skipped.Add(1)
+		if sn.arch != "" {
+			st.mu.Lock()
+			st.arches[sn.arch]++
+			st.mu.Unlock()
+		}
 		return
 	}
 	st.elfs.Add(1)
@@ -374,13 +390,26 @@ func (st *state) diffOne(path string, res *bside.Analysis) (*Diff, error) {
 	return d, nil
 }
 
-// sniffELF reports whether path starts like an x86-64 ELF executable
-// or shared object — the 64-byte header is all it reads, so a distro
-// tree's scripts, docs and data files cost one small read each.
-func sniffELF(path string) (bool, error) {
+// sniff is the 64-byte-header classification of one regular file: a
+// candidate for analysis, a foreign-architecture ELF worth counting in
+// the fleet summary, or neither.
+type sniff struct {
+	candidate bool
+	// arch names the machine of a valid ELF executable/shared object
+	// the analyzer does not support ("" otherwise). Distro trees mix
+	// multilib and cross-target binaries in; lumping them into the
+	// generic skip count (or worse, the failure phases) hides how much
+	// of a fleet the x86-64 analyzer actually covered.
+	arch string
+}
+
+// sniffELF classifies path from its first 64 bytes — the header is all
+// it reads, so a distro tree's scripts, docs and data files cost one
+// small read each.
+func sniffELF(path string) (sniff, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return false, err
+		return sniff{}, err
 	}
 	defer f.Close()
 	var hdr [64]byte
@@ -388,13 +417,10 @@ func sniffELF(path string) (bool, error) {
 	if err != nil && n < 20 {
 		// Too short to be an ELF at all; not an error, just not a
 		// candidate.
-		return false, nil
+		return sniff{}, nil
 	}
 	if hdr[0] != 0x7f || hdr[1] != 'E' || hdr[2] != 'L' || hdr[3] != 'F' {
-		return false, nil
-	}
-	if hdr[4] != 2 || hdr[5] != 1 { // ELFCLASS64, little-endian
-		return false, nil
+		return sniff{}, nil
 	}
 	etype := binary.LittleEndian.Uint16(hdr[16:])
 	machine := binary.LittleEndian.Uint16(hdr[18:])
@@ -403,8 +429,43 @@ func sniffELF(path string) (bool, error) {
 		etDyn   = 3
 		emX8664 = 62
 	)
-	if machine != emX8664 || (etype != etExec && etype != etDyn) {
-		return false, nil
+	if etype != etExec && etype != etDyn {
+		return sniff{}, nil // relocatable objects, core dumps
 	}
-	return true, nil
+	if hdr[4] != 2 || hdr[5] != 1 || machine != emX8664 {
+		// A real executable or shared object for a machine (or class)
+		// this analyzer does not handle: count it by architecture.
+		return sniff{arch: archName(hdr[4], machine)}, nil
+	}
+	return sniff{candidate: true}, nil
+}
+
+// archName renders an ELF (class, e_machine) pair for the skip
+// histogram, covering the machines a mixed distro tree actually ships.
+func archName(class byte, machine uint16) string {
+	name := ""
+	switch machine {
+	case 3:
+		name = "i386"
+	case 8:
+		name = "mips"
+	case 20, 21:
+		name = "ppc"
+	case 22:
+		name = "s390"
+	case 40:
+		name = "arm"
+	case 62:
+		name = "x86-64" // ELFCLASS32 (x32) lands here
+	case 183:
+		name = "aarch64"
+	case 243:
+		name = "riscv"
+	default:
+		name = fmt.Sprintf("em-%d", machine)
+	}
+	if class != 2 {
+		name += "-elf32"
+	}
+	return name
 }

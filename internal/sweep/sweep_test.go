@@ -198,6 +198,49 @@ func TestSweepAnalyzeFailureIsCountedNotFatal(t *testing.T) {
 	}
 }
 
+// TestSweepUnsupportedArchIsSkippedNotFailed: a valid ELF executable
+// for a foreign machine is not a parse failure and not an anonymous
+// skip — it lands in the per-architecture skip histogram, so the
+// summary says how much of a mixed-arch tree the analyzer covered.
+func TestSweepUnsupportedArchIsSkippedNotFailed(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root)
+	foreign := func(name string, class byte, machine uint16) {
+		hdr := make([]byte, 64)
+		copy(hdr, []byte{0x7f, 'E', 'L', 'F', class, 1, 1})
+		hdr[16] = 2 // ET_EXEC
+		hdr[18] = byte(machine)
+		hdr[19] = byte(machine >> 8)
+		if err := os.WriteFile(filepath.Join(root, name), hdr, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	foreign("arm64-bin", 2, 183) // AArch64
+	foreign("arm64-too", 2, 183) // second of the same arch
+	foreign("riscv-bin", 2, 243) // RISC-V
+	foreign("compat-32", 1, 3)   // ELFCLASS32 i386
+
+	results, sum := collect(t, root, Options{Analyzer: bside.NewAnalyzer(bside.Options{})})
+	if sum.Failed != 0 || len(sum.FailurePhases) != 0 {
+		t.Fatalf("foreign-arch ELFs counted as failures: failed=%d phases=%v",
+			sum.Failed, sum.FailurePhases)
+	}
+	// i386-elf32 is 2: the tree's own lib32/old plus compat-32 — the
+	// anonymous 32-bit skip writeTree always contained is now visible.
+	want := map[string]int64{"aarch64": 2, "riscv": 1, "i386-elf32": 2}
+	if !reflect.DeepEqual(sum.SkippedArches, want) {
+		t.Fatalf("arch histogram: %v, want %v", sum.SkippedArches, want)
+	}
+	if sum.Analyzed != 3 {
+		t.Fatalf("analyzed=%d, want the tree's 3 x86-64 binaries", sum.Analyzed)
+	}
+	for _, name := range []string{"arm64-bin", "riscv-bin", "compat-32"} {
+		if results[filepath.Join(root, name)] != nil {
+			t.Fatalf("%s: skipped file must not emit a result", name)
+		}
+	}
+}
+
 // TestSweepDiffFlagsResolvedScanOnly plants the one disagreement shape
 // -diff exists to catch: a dead function carrying an immediate-loaded
 // syscall. The linear scanner resolves it; B-Side's reachability

@@ -25,6 +25,16 @@ type Request struct {
 	Block   *cfg.Block
 	InsnIdx int // resolve the value before this instruction
 	Reg     x86.Reg
+
+	// MemRead, when non-nil, extends the domain to 8-byte loads from
+	// concrete (RIP-relative) addresses: it returns the quad at the
+	// given virtual address and whether the address is covered. The
+	// contract is strict — the callback must answer only for IMMUTABLE
+	// memory (read-only data sections), because a positive resolve
+	// promises the complete runtime value set, and a writable slot can
+	// hold anything by the time the load executes. Nil keeps the
+	// classic registers-only domain.
+	MemRead func(addr uint64) (uint64, bool)
 }
 
 // bitset is a growable index bitset: the function-membership and
@@ -62,6 +72,7 @@ type resolver struct {
 	inFn    bitset // block IDs belonging to fn
 	visited bitset // block ID × register pairs already joined
 	budget  int
+	memRead func(addr uint64) (uint64, bool)
 }
 
 var resolverPool = sync.Pool{New: func() any { return new(resolver) }}
@@ -76,12 +87,14 @@ func Resolve(req Request) (vals []uint64, ok bool) {
 	r.inFn.reset()
 	r.visited.reset()
 	r.budget = maxVisits
+	r.memRead = req.MemRead
 	for _, b := range req.Fn.Blocks {
 		r.inFn.add(b.ID)
 	}
 	set := make(map[uint64]bool)
 	resolved := r.resolveAt(req.Block, req.InsnIdx, req.Reg, set)
 	r.fn = nil
+	r.memRead = nil
 	resolverPool.Put(r)
 	if !resolved {
 		return nil, false
@@ -132,6 +145,19 @@ func (r *resolver) resolveAt(blk *cfg.Block, idx int, reg x86.Reg, out map[uint6
 				return true
 			case x86.KindReg:
 				return r.resolveAt(blk, i, in.Src.Reg, out)
+			case x86.KindMem:
+				// A full-width load from a concrete address is in domain
+				// exactly when the caller vouches for the memory being
+				// immutable (see Request.MemRead).
+				if r.memRead != nil && in.OpSize == 8 {
+					if ea, ok := in.MemEA(in.Src); ok {
+						if v, ok := r.memRead(ea); ok {
+							out[v] = true
+							return true
+						}
+					}
+				}
+				return false
 			default:
 				return false // memory operand: out of domain
 			}

@@ -1,0 +1,84 @@
+package bside
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"bside/internal/corpus"
+	"bside/internal/elff"
+)
+
+// writePrecisionCorpus materializes the fixed table-driven corpus the
+// precision metric is defined over: function-pointer tables in every
+// section kind the provenance layer handles (anonymous data, .rodata,
+// RELRO, writable .data), packed and aligned, with cold data-carried
+// handlers and signature decoys for the signature layer to prune.
+func writePrecisionCorpus(b testing.TB) []string {
+	b.Helper()
+	dir := b.TempDir()
+	var paths []string
+	for i, sec := range []string{"", "rodata", "relro", "data"} {
+		for _, packed := range []bool{false, true} {
+			name := fmt.Sprintf("prec-%d-packed-%v", i, packed)
+			bin, err := corpus.BuildProgram(corpus.Profile{
+				Name: name, Kind: elff.KindStatic,
+				HotDirect: 4, Handlers: 2, TableHandlers: 3,
+				ColdHandlers: 2, SigDecoys: 1,
+				ColdDirect: 3, ColdWrapper: 1,
+				TableSection: sec, TablePacked: packed,
+				Filler: 16, Seed: int64(7000 + i),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			path := filepath.Join(dir, name)
+			if err := bin.WriteFile(path); err != nil {
+				b.Fatal(err)
+			}
+			paths = append(paths, path)
+		}
+	}
+	return paths
+}
+
+// BenchmarkPrecisionCorpus measures the indirect-call resolver's
+// effect as a gated number: the mean identified-set size over the
+// fixed table-driven corpus, resolver on ("identified/op") and off
+// ("fallback/op"). Both are deterministic — a function of the corpus
+// and the analyzer, not the machine — so bench-check gates
+// identified/op exactly like allocs/op: a rise means the resolver
+// stopped shrinking sets. The shrink itself is asserted here too; the
+// soundness direction (identified ⊇ truth) is the fuzzing oracle's
+// job.
+func BenchmarkPrecisionCorpus(b *testing.B) {
+	paths := writePrecisionCorpus(b)
+	var identified, fallback int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		identified, fallback = 0, 0
+		on := NewAnalyzer(Options{})
+		off := NewAnalyzer(Options{ResolverLayers: -1})
+		for _, path := range paths {
+			resOn, err := on.AnalyzeFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resOff, err := off.AnalyzeFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resOn.FailOpen || resOff.FailOpen {
+				b.Fatalf("%s: fail-open on the precision corpus", path)
+			}
+			identified += len(resOn.Syscalls)
+			fallback += len(resOff.Syscalls)
+		}
+		if identified >= fallback {
+			b.Fatalf("resolver did not shrink the corpus: identified %d vs fallback %d",
+				identified, fallback)
+		}
+	}
+	b.ReportMetric(float64(identified)/float64(len(paths)), "identified/op")
+	b.ReportMetric(float64(fallback)/float64(len(paths)), "fallback/op")
+}
