@@ -4,7 +4,7 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build vet fmt-check test race bench bench-compare bench-check profile fuzz fuzz-nightly serve-smoke sweep-smoke
+.PHONY: all build vet fmt-check test race bench bench-compare bench-check profile fuzz fuzz-nightly serve-smoke sweep-smoke pack-smoke
 
 all: build vet fmt-check test
 
@@ -49,7 +49,7 @@ bench:
 # pipe element), and the in-bench worker-count drift guard must be
 # able to fail this target.
 bench-compare:
-	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary|RecoverLargeBinary|ServeWarmHash|SweepTree|PrecisionCorpus' \
+	$(GO) test -run='^$$' -bench='AnalyzeAllColdCache|AnalyzeAllWarmCache|AnalyzeAllSerial|AnalyzeAllParallel|AnalyzeLargeBinary|RecoverLargeBinary|ServeWarmHash|SweepTree|PrecisionCorpus|WarmLookup' \
 		-benchtime=3x -benchmem -count=1 . > bench-compare.tmp
 	$(GO) run ./cmd/benchjson -commit $(SHA) < bench-compare.tmp > BENCH_$(SHA).json
 	@rm -f bench-compare.tmp
@@ -98,6 +98,16 @@ sweep-smoke:
 	$(GO) build -o bside.smoke ./cmd/bside
 	$(GO) build -o bsidegen.smoke ./cmd/bsidegen
 	$(GO) run ./cmd/sweepsmoke -bside ./bside.smoke -gen ./bsidegen.smoke
+	@rm -f bside.smoke bsidegen.smoke
+
+# End-to-end smoke test of cache compaction: cold batch populates a
+# cache, a warm loose replay fixes the oracle output, `bside cache
+# pack` compacts, and a second warm replay out of the mmapped pack must
+# be byte-identical with pack hits reported in the summary.
+pack-smoke:
+	$(GO) build -o bside.smoke ./cmd/bside
+	$(GO) build -o bsidegen.smoke ./cmd/bsidegen
+	$(GO) run ./cmd/packsmoke -bside ./bside.smoke -gen ./bsidegen.smoke
 	@rm -f bside.smoke bsidegen.smoke
 
 # Randomized corpus fuzzing: soundness + invariance + baseline-sanity

@@ -107,6 +107,17 @@ type Options struct {
 	// applies. Corrupt or stale entries are ignored and re-computed,
 	// never fatal.
 	CacheDir string
+	// PackPath, when set, additionally attaches one compacted cache
+	// pack file (see `bside cache pack`) to the analyzer's store: an
+	// immutable, memory-mapped, binary-searchable snapshot of cache
+	// entries consulted between the memory tier and the loose files.
+	// Packs living under CacheDir/packs/ are discovered automatically;
+	// this knob points at a pack built elsewhere — a fleet can compact
+	// once, distribute the file, and mount it read-only everywhere. An
+	// unreadable or corrupt pack surfaces like an unusable CacheDir:
+	// NewAnalyzerErr fails, NewAnalyzer defers the error to the first
+	// analysis.
+	PackPath string
 	// DisableFuncMemo turns off the process-wide per-function summary
 	// memoization. By default identical functions — shared stubs across
 	// a corpus family, duplicated bodies across a batch, the same
@@ -244,7 +255,14 @@ func NewAnalyzer(opts Options) *Analyzer {
 		if a.cache != nil && opts.DisableMemoryTier {
 			a.cache.DisableMemoryTier()
 		}
+		if a.cache != nil && opts.PackPath != "" {
+			if err := a.cache.AttachPack(opts.PackPath); err != nil && a.cacheErr == nil {
+				a.cacheErr = err
+			}
+		}
 		inner.Cache = a.cache
+	} else if opts.PackPath != "" {
+		a.cacheErr = fmt.Errorf("bside: PackPath requires CacheDir")
 	}
 	return a
 }
@@ -261,6 +279,16 @@ type CacheStats struct {
 	// MemoryHits is the subset of Hits served from the in-process
 	// memory tier, without a file read or an envelope decode.
 	MemoryHits uint64 `json:"memory_hits"`
+	// PackHits is the subset of Hits served from a memory-mapped cache
+	// pack — a binary-search probe into the shared mapping, with no
+	// per-entry open() and (for binary-codec entries) no JSON at all.
+	PackHits uint64 `json:"pack_hits"`
+	// Packs, PackEntries and PackBytesMapped gauge the open pack set:
+	// file count, total indexed entries, and the bytes currently
+	// memory-mapped (zero where the platform fell back to heap reads).
+	Packs           int   `json:"packs"`
+	PackEntries     int   `json:"pack_entries"`
+	PackBytesMapped int64 `json:"pack_bytes_mapped"`
 	// StoredBytes counts envelope bytes written to the disk tier.
 	StoredBytes uint64 `json:"stored_bytes"`
 	// MemoryEvictions counts entries pushed out of the memory tier by
@@ -298,6 +326,9 @@ func (a *Analyzer) CacheStats() CacheStats {
 		st := a.cache.Stats()
 		out.Hits, out.Misses, out.Stores = st.Hits, st.Misses, st.Stores
 		out.MemoryHits, out.StoredBytes = st.MemoryHits, st.StoredBytes
+		out.PackHits = st.PackHits
+		out.Packs, out.PackEntries = st.Packs, st.PackEntries
+		out.PackBytesMapped = st.PackBytesMapped
 		out.MemoryEvictions = st.MemoryEvictions
 		out.MemoryEntries, out.MemoryBytes = st.MemoryEntries, st.MemoryBytes
 	}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+
+	"bside/internal/cache"
+
+	// The pack codecs are registered from the packages that own the
+	// payload types; linking them in makes `bside cache pack` emit
+	// binary-codec entries for "program" and "funcsum" kinds. The
+	// analyzer import below pulls in both, but be explicit about the
+	// dependency the compaction quality rides on.
+	_ "bside/internal/ident"
+	_ "bside/internal/shared"
+)
+
+// runCache administers a cache directory: compaction into the mmapped
+// pack tier, and garbage collection of loose entries a pack already
+// covers.
+func runCache(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "usage: bside cache pack|gc -dir <cachedir>")
+		return usageError{errors.New("cache: missing subcommand")}
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("cache "+sub, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "cache directory (as given to -cache / CacheDir)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bside cache %s -dir <cachedir>\n", sub)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usageError{err}
+	}
+	if *dir == "" {
+		fs.Usage()
+		return usageError{errors.New("cache: -dir is required")}
+	}
+	st, err := cache.Open(*dir)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "pack":
+		cs, err := st.Compact()
+		if err != nil {
+			return err
+		}
+		if cs.Packed == 0 {
+			fmt.Fprintf(stdout, "bside cache pack: nothing to pack in %s (%d files skipped)\n", *dir, cs.SkippedLoose)
+			return nil
+		}
+		fmt.Fprintf(stdout, "bside cache pack: %s: %d entries (%d loose + %d carried, %d binary-encoded) -> %s (%d bytes); pruned %d loose / %d packs, skipped %d\n",
+			*dir, cs.Packed, cs.FromLoose, cs.FromPacks, cs.BinaryEncoded,
+			cs.PackPath, cs.PackBytes, cs.PrunedLoose, cs.PrunedPacks, cs.SkippedLoose)
+		return nil
+	case "gc":
+		gs, err := st.GC()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "bside cache gc: %s: pruned %d loose entries already packed, kept %d\n",
+			*dir, gs.PrunedLoose, gs.KeptLoose)
+		return nil
+	default:
+		fmt.Fprintln(stderr, "usage: bside cache pack|gc -dir <cachedir>")
+		return usageError{fmt.Errorf("cache: unknown subcommand %q", sub)}
+	}
+}

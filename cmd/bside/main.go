@@ -7,8 +7,9 @@
 //	bside [-libs dir] [-json] [-phases] [-policy] [-workers n] [-timings] <binary>
 //	bside batch [-libs dir] [-cache dir] [-jobs n] [-workers n] [-max-insns n] <binary>...
 //	bside fuzz [-seeds n] [-start s] [-repro dir]
-//	bside serve [-addr host:port] [-libs dir] [-cache dir] [-inflight n] [-timeout d]
-//	bside sweep [-libs dir] [-cache dir] [-jobs n] [-queue n] [-diff] [-nommap] [-summary file] <root>
+//	bside serve [-addr host:port] [-libs dir] [-cache dir] [-pack file] [-inflight n] [-timeout d]
+//	bside sweep [-libs dir] [-cache dir] [-pack file] [-jobs n] [-queue n] [-diff] [-nommap] [-summary file] <root>
+//	bside cache pack|gc -dir <cachedir>
 //
 // The batch form analyzes many binaries concurrently over a shared
 // interface cache, emitting one JSON object per binary (JSON lines) on
@@ -34,6 +35,15 @@
 // -summary. With -diff every binary is also run through a cheap
 // syspeek-style linear scanner and scan-resolved syscalls missing from
 // the analysis are flagged as soundness disagreements.
+//
+// The cache form administers a persistent cache directory: `bside
+// cache pack` compacts the loose JSON entries (and any existing pack)
+// into one immutable, memory-mapped, binary-searchable pack file under
+// <dir>/packs/ and prunes what it absorbed; `bside cache gc` removes
+// loose entries an existing pack already serves. Warm lookups through
+// a pack skip the per-entry open() and both JSON decodes — the
+// difference between "parse per request" and "hash probe into a
+// shared mapping" for a resident service or a warm fleet sweep.
 //
 // The serve form runs the resident analysis service (internal/serve):
 // one warm analyzer behind POST /analyze (upload or ?hash= cache
@@ -87,6 +97,8 @@ func main() {
 			sub = runServe
 		case "sweep":
 			sub = runSweep
+		case "cache":
+			sub = runCache
 		}
 		if sub != nil {
 			if err := sub(os.Args[2:], os.Stdout, os.Stderr); err != nil {
@@ -218,11 +230,12 @@ func runBatch(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	libs := fs.String("libs", "", "directory with shared-library dependencies")
 	cacheDir := fs.String("cache", "", "persistent content-addressed cache directory")
+	packPath := fs.String("pack", "", "attach a compacted cache pack file (see bside cache pack)")
 	jobs := fs.Int("jobs", 0, "worker-pool size across binaries (0 = GOMAXPROCS)")
 	workers := fs.Int("workers", 0, "intra-binary analysis workers per job (0/1 = serial, -1 = one per CPU)")
 	maxInsns := fs.Int("max-insns", 0, "disassembly budget per binary (0 = default)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: bside batch [-libs dir] [-cache dir] [-jobs n] [-workers n] [-max-insns n] <binary>...")
+		fmt.Fprintln(stderr, "usage: bside batch [-libs dir] [-cache dir] [-pack file] [-jobs n] [-workers n] [-max-insns n] <binary>...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -236,12 +249,16 @@ func runBatch(args []string, stdout, stderr io.Writer) error {
 		return usageError{errors.New("batch: no binaries given")}
 	}
 
-	a := bside.NewAnalyzer(bside.Options{
+	a, err := bside.NewAnalyzerErr(bside.Options{
 		LibraryDir:         *libs,
 		CacheDir:           *cacheDir,
+		PackPath:           *packPath,
 		MaxCFGInstructions: *maxInsns,
 		IntraWorkers:       *workers,
 	})
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 
 	// Stream one JSON line per binary as its analysis completes (the
@@ -287,6 +304,9 @@ func runBatch(args []string, stdout, stderr io.Writer) error {
 		len(results), elapsed.Round(time.Millisecond), cold, warm, failed)
 	if *cacheDir != "" {
 		fmt.Fprintf(stderr, "; cache %d hits / %d misses / %d stores", st.Hits, st.Misses, st.Stores)
+		if st.Packs > 0 {
+			fmt.Fprintf(stderr, "; pack %d hits / %d entries", st.PackHits, st.PackEntries)
+		}
 	}
 	fmt.Fprintln(stderr)
 	if failed > 0 {

@@ -27,6 +27,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:7845", "listen address")
 	libs := fs.String("libs", "", "directory with shared-library dependencies")
 	cacheDir := fs.String("cache", "", "persistent content-addressed cache directory")
+	packPath := fs.String("pack", "", "attach a compacted cache pack file (see bside cache pack)")
 	workers := fs.Int("workers", -1, "intra-binary analysis workers (-1 = one per CPU, 0/1 = serial)")
 	maxInsns := fs.Int("max-insns", 0, "disassembly budget per binary (0 = default)")
 	inflight := fs.Int("inflight", serve.DefaultMaxInFlight, "max concurrently running analyses; beyond it requests get 429")
@@ -56,6 +57,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	analyzer, err := bside.NewAnalyzerErr(bside.Options{
 		LibraryDir:         *libs,
 		CacheDir:           *cacheDir,
+		PackPath:           *packPath,
 		MaxCFGInstructions: *maxInsns,
 		IntraWorkers:       *workers,
 	})

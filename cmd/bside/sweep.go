@@ -24,6 +24,7 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	libs := fs.String("libs", "", "directory with shared-library dependencies")
 	cacheDir := fs.String("cache", "", "persistent content-addressed cache directory")
+	packPath := fs.String("pack", "", "attach a compacted cache pack file (see bside cache pack)")
 	jobs := fs.Int("jobs", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
 	workers := fs.Int("workers", 0, "intra-binary analysis workers per job (0/1 = serial, -1 = one per CPU)")
 	maxInsns := fs.Int("max-insns", 0, "disassembly budget per binary (0 = default)")
@@ -48,13 +49,17 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 	}
 	root := fs.Arg(0)
 
-	a := bside.NewAnalyzer(bside.Options{
+	a, err := bside.NewAnalyzerErr(bside.Options{
 		LibraryDir:         *libs,
 		CacheDir:           *cacheDir,
+		PackPath:           *packPath,
 		MaxCFGInstructions: *maxInsns,
 		IntraWorkers:       *workers,
 		DisableMmap:        *nommap,
 	})
+	if err != nil {
+		return err
+	}
 
 	enc := json.NewEncoder(stdout)
 	var encErr error
@@ -71,8 +76,12 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 			}
 		},
 		OnProgress: func(s *sweep.Summary) {
-			fmt.Fprintf(stderr, "bside sweep: %d/%d analyzed, %.1f bin/s, warm %.0f%%, p50 %.1fms p99 %.1fms, %d failed\n",
+			line := fmt.Sprintf("bside sweep: %d/%d analyzed, %.1f bin/s, warm %.0f%%, p50 %.1fms p99 %.1fms, %d failed",
 				s.Analyzed, s.ELFs, s.BinariesPerSec, 100*s.WarmHitRatio, s.P50Ms, s.P99Ms, s.Failed)
+			if s.PackHits > 0 {
+				line += fmt.Sprintf(", %d pack hits", s.PackHits)
+			}
+			fmt.Fprintln(stderr, line)
 		},
 	})
 	if err != nil {
@@ -101,6 +110,9 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 	}
 	if *diff {
 		fmt.Fprintf(stderr, ", %d scan disagreements", sum.ScanDisagreements)
+	}
+	if sum.PackHits > 0 {
+		fmt.Fprintf(stderr, ", %d pack hits", sum.PackHits)
 	}
 	fmt.Fprintln(stderr)
 

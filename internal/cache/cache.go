@@ -29,17 +29,33 @@
 // through a temp file plus rename so concurrent writers of the same
 // entry cannot tear each other's files.
 //
-// In front of the disk sits a process-wide memory tier: a payload
-// validated once from disk is kept in memory (keyed by directory, kind
-// and key), so repeated loads of the same entry — a fleet re-probing a
-// warm cache, analyzers recreated per batch — skip the file read and
-// the envelope decode; one stat per hit confirms the durable entry
-// still exists, so deleting a cache directory makes the process
-// recompute and repopulate rather than serve ghosts. The tier is
-// read-through: only disk-validated payloads enter it, entries are
-// content-addressed (the same key and fingerprint always name the same
-// payload), and a Store through any handle drops the stale copy, so it
-// can never serve a result the durable tier would not.
+// Between the memory tier and the loose files sits the optional pack
+// tier (see pack.go): Compact folds the loose entries into one
+// immutable, content-addressed pack file under <dir>/packs/ that later
+// processes memory-map read-only and probe by binary search — a warm
+// hit costs a hash probe into a shared mapping instead of an open()
+// plus two JSON decodes. Packs are discovered automatically by Open,
+// validated end-to-end by checksum (a truncated or bit-flipped pack is
+// ignored, never served), and consulted after the memory tier and
+// before the loose files; writes always land loose, so a pack is a
+// snapshot that never goes stale incorrectly — at worst a probe falls
+// through to a fresher loose entry.
+//
+// In front of both durable tiers sits a process-wide memory tier
+// holding *decoded* values: a payload validated and decoded once is
+// kept as the typed Go value (keyed by directory, kind and key), so
+// repeated loads of the same entry — a fleet re-probing a warm cache,
+// analyzers recreated per batch — skip the file read and both decodes;
+// a memory hit is a pointer-copy assignment, not an Unmarshal. One
+// stat per hit confirms the durable backing (loose file or pack) still
+// exists, so deleting a cache directory makes the process recompute
+// and repopulate rather than serve ghosts. The tier is read-through:
+// only disk-validated payloads enter it, entries are content-addressed
+// (the same key and fingerprint always name the same payload), and a
+// Store through any handle drops the stale copy, so it can never serve
+// a result the durable tier would not. Because hits hand every caller
+// the same decoded value, callers must treat loaded results as
+// immutable — the analyzer's read paths already do.
 // DisableMemoryTier opts a handle out — the fuzzer's
 // frontend-invariance oracle holds memory-tier-on and -off analyses to
 // byte-identical results.
@@ -60,6 +76,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -89,10 +106,17 @@ const (
 // from serializing on one mutex.
 var memTier = newStripedTier(defaultMemEntries, defaultMemBytes)
 
+// memEntry is one resident memory-tier entry: the decoded value (a
+// boxed copy of what the loading caller received — immutable by
+// contract), the conf fingerprint it was stored under, the durable
+// path backing it (statted on every hit so a deleted cache never
+// ghost-serves), and the durable payload size the byte budget charges.
 type memEntry struct {
-	key     string
-	conf    string
-	payload []byte
+	key  string
+	conf string
+	src  string
+	size int
+	val  any
 }
 
 // tierStripes is the memory tier's stripe count. Keys spread by hash,
@@ -234,12 +258,12 @@ func (t *lruTier) put(ent memEntry) {
 	defer t.mu.Unlock()
 	if el, ok := t.entries[ent.key]; ok {
 		old := el.Value.(*memEntry)
-		t.bytes += int64(len(ent.payload)) - int64(len(old.payload))
+		t.bytes += int64(ent.size) - int64(old.size)
 		*old = ent
 		t.order.MoveToFront(el)
 	} else {
 		t.entries[ent.key] = t.order.PushFront(&ent)
-		t.bytes += int64(len(ent.payload))
+		t.bytes += int64(ent.size)
 	}
 	for t.order.Len() > t.maxEntries || t.bytes > t.maxBytes {
 		back := t.order.Back()
@@ -264,7 +288,7 @@ func (t *lruTier) removeLocked(el *list.Element) {
 	ent := el.Value.(*memEntry)
 	t.order.Remove(el)
 	delete(t.entries, ent.key)
-	t.bytes -= int64(len(ent.payload))
+	t.bytes -= int64(ent.size)
 }
 
 // snapshot returns the tier's gauges: entry count and payload bytes.
@@ -314,6 +338,20 @@ type Store struct {
 	memPrefix string
 	noMem     atomic.Bool
 
+	// packs is the current immutable set of open pack files, consulted
+	// after the memory tier and before the loose files. Readers load a
+	// snapshot and never lock; Compact and AttachPack swap in a new
+	// slice atomically. Superseded packs are dropped from the set but
+	// their mappings are deliberately not unmapped — a concurrent probe
+	// may still hold the old snapshot, and a handful of leaked mappings
+	// per compaction (backed by deleted files the kernel reclaims
+	// lazily) is far cheaper than reference-counting every probe.
+	packs atomic.Pointer[[]*pack]
+
+	// compactMu serializes Compact/GC against each other; probes and
+	// stores never take it.
+	compactMu sync.Mutex
+
 	// shardMu stripes disk writes by key shard (the key[:2] subdir
 	// layout mapped onto tierStripes mutexes): concurrent sweep workers
 	// storing into different shards proceed in parallel, while writers
@@ -323,6 +361,7 @@ type Store struct {
 
 	hits        atomic.Uint64
 	memoryHits  atomic.Uint64
+	packHits    atomic.Uint64
 	misses      atomic.Uint64
 	stores      atomic.Uint64
 	storedBytes atomic.Uint64
@@ -335,6 +374,17 @@ type Stats struct {
 	// MemoryHits counts the subset of Hits served from the in-process
 	// memory tier without touching the disk.
 	MemoryHits uint64
+	// PackHits counts the subset of Hits served from a memory-mapped
+	// pack file — a binary-search probe into the shared mapping instead
+	// of an open() plus envelope decode.
+	PackHits uint64
+	// Packs, PackEntries and PackBytesMapped are point-in-time gauges
+	// of the open pack set: file count, total index entries, and the
+	// bytes currently memory-mapped (zero where the platform fell back
+	// to heap reads).
+	Packs           int
+	PackEntries     int
+	PackBytesMapped int64
 	// Misses counts Load calls that found no usable entry.
 	Misses uint64
 	// Stores counts entries written.
@@ -353,7 +403,10 @@ type Stats struct {
 	MemoryBytes   int64
 }
 
-// Open returns a store rooted at dir, creating it if needed.
+// Open returns a store rooted at dir, creating it if needed. Pack
+// files under <dir>/packs/ are discovered and mapped here; a pack that
+// fails validation (truncated, corrupted) is skipped silently — the
+// loose tier still answers, corruption is never fatal.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("cache: empty directory")
@@ -361,7 +414,9 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	return &Store{dir: dir, memPrefix: filepath.Clean(dir) + "\x00"}, nil
+	s := &Store{dir: dir, memPrefix: filepath.Clean(dir) + "\x00"}
+	s.discoverPacks()
+	return s, nil
 }
 
 // Dir exposes the store's root directory.
@@ -382,9 +437,10 @@ func (s *Store) DisableMemoryTier() *Store {
 // process-wide tier, not this store's slice of it.
 func (s *Store) Stats() Stats {
 	entries, bytes := memTier.snapshot()
-	return Stats{
+	st := Stats{
 		Hits:            s.hits.Load(),
 		MemoryHits:      s.memoryHits.Load(),
+		PackHits:        s.packHits.Load(),
 		Misses:          s.misses.Load(),
 		Stores:          s.stores.Load(),
 		StoredBytes:     s.storedBytes.Load(),
@@ -392,6 +448,16 @@ func (s *Store) Stats() Stats {
 		MemoryEntries:   entries,
 		MemoryBytes:     bytes,
 	}
+	if ps := s.packs.Load(); ps != nil {
+		st.Packs = len(*ps)
+		for _, p := range *ps {
+			st.PackEntries += p.count
+			if p.mapped {
+				st.PackBytesMapped += int64(len(p.data))
+			}
+		}
+	}
+	return st
 }
 
 type envelope struct {
@@ -412,10 +478,11 @@ func (s *Store) memKey(kind, key string) string {
 // Load decodes the entry for (kind, key) into out and reports whether a
 // usable entry existed. conf must match the fingerprint the entry was
 // stored under; any mismatch, decode failure, or version skew is a miss.
-// A memory-tier hit skips the file read and envelope validation — the
-// payload was validated when it was promoted.
+// A memory-tier hit assigns the already-decoded value — no file read,
+// no envelope validation, no Unmarshal; the caller must treat the
+// result (and any slices it holds) as immutable.
 func (s *Store) Load(kind, key, conf string, out any) bool {
-	_, ok := s.load(kind, key, func(got string) bool { return got == conf }, out)
+	_, ok := s.load(kind, key, conf, false, out)
 	return ok
 }
 
@@ -426,31 +493,34 @@ func (s *Store) Load(kind, key, conf string, out any) bool {
 // caller owns validating the returned fingerprint — serving an entry
 // without checking it would silently cross analyzer configurations.
 func (s *Store) LoadAny(kind, key string, out any) (string, bool) {
-	return s.load(kind, key, func(string) bool { return true }, out)
+	return s.load(kind, key, "", true, out)
 }
 
-// load is the shared probe: memory tier first (one stat to confirm the
-// durable entry still exists), then the disk envelope, promoting on a
-// disk hit. confOK decides which stored fingerprints are acceptable.
-func (s *Store) load(kind, key string, confOK func(string) bool, out any) (string, bool) {
+// load is the shared probe, in tier order: the memory tier (a decoded
+// value plus one stat confirming its durable backing still exists),
+// then the mapped packs (binary-search probe, payload decoded straight
+// out of the mapping), then the loose JSON envelope — promoting into
+// the memory tier on any durable hit. anyConf accepts whatever
+// fingerprint is stored (the LoadAny path); otherwise conf must match
+// exactly.
+func (s *Store) load(kind, key, conf string, anyConf bool, out any) (string, bool) {
 	if len(key) < 2 {
 		s.misses.Add(1)
 		return "", false
 	}
 	useMem := !s.noMem.Load()
-	path := s.path(kind, key)
 	mk := ""
 	if useMem {
 		mk = s.memKey(kind, key)
 		if ent, ok := memTier.get(mk); ok {
-			if confOK(ent.conf) {
-				// One stat confirms the durable entry still backs the
-				// memory copy — a deleted cache directory must make
-				// this process recompute and repopulate the disk, not
-				// serve ghosts — while still skipping the file read
-				// and the envelope decode.
-				if _, err := os.Stat(path); err == nil {
-					if json.Unmarshal(ent.payload, out) == nil {
+			if anyConf || ent.conf == conf {
+				// One stat confirms the durable tier (the loose file or
+				// the pack this value came from) still backs the memory
+				// copy — a deleted cache directory must make this
+				// process recompute and repopulate the disk, not serve
+				// ghosts — while skipping the read and both decodes.
+				if _, err := os.Stat(ent.src); err == nil {
+					if assignDecoded(out, ent.val) {
 						s.memoryHits.Add(1)
 						s.hits.Add(1)
 						return ent.conf, true
@@ -463,6 +533,34 @@ func (s *Store) load(kind, key string, confOK func(string) bool, out any) (strin
 			// may hold a fresher entry stored under the new conf.
 		}
 	}
+	if ps := s.packs.Load(); ps != nil {
+		for _, p := range *ps {
+			gotConf, codec, payload, ok := p.probe(kind, key, conf, anyConf)
+			if !ok {
+				continue
+			}
+			// The same ghost rule as the memory tier: the pack file must
+			// still exist on disk. A pack deleted under a live mapping
+			// (cache wipe, gc from another process) stops serving and is
+			// dropped from the set.
+			if _, err := os.Stat(p.path); err != nil {
+				s.dropPack(p)
+				continue
+			}
+			if !decodePackPayload(kind, codec, payload, out) {
+				// Codec/type mismatch or malformed payload: treat this
+				// pack as silent and let the loose tier answer.
+				continue
+			}
+			s.packHits.Add(1)
+			s.hits.Add(1)
+			if useMem {
+				s.promote(mk, gotConf, p.path, len(payload), out)
+			}
+			return gotConf, true
+		}
+	}
+	path := s.path(kind, key)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
@@ -482,7 +580,7 @@ func (s *Store) load(kind, key string, confOK func(string) bool, out any) (strin
 		s.misses.Add(1)
 		return "", false
 	}
-	if (env.Version != formatVersion && env.Version != legacyVersion) || !confOK(env.Conf) {
+	if (env.Version != formatVersion && env.Version != legacyVersion) || !(anyConf || env.Conf == conf) {
 		s.misses.Add(1)
 		return "", false
 	}
@@ -491,15 +589,52 @@ func (s *Store) load(kind, key string, confOK func(string) bool, out any) (strin
 		return "", false
 	}
 	if useMem {
-		s.promote(mk, env.Conf, env.Payload)
+		s.promote(mk, env.Conf, path, len(env.Payload), out)
 	}
 	s.hits.Add(1)
 	return env.Conf, true
 }
 
-// promote installs a disk-validated payload into the memory tier.
-func (s *Store) promote(mk, conf string, payload json.RawMessage) {
-	memTier.put(memEntry{key: mk, conf: conf, payload: append([]byte(nil), payload...)})
+// decodePackPayload decodes one pack payload into out: raw JSON for
+// codec 0, the kind's registered PackCodec for codec 1. False means
+// "pretend the pack had no entry" — the probe falls through.
+func decodePackPayload(kind string, codec byte, payload []byte, out any) bool {
+	switch codec {
+	case packCodecJSON:
+		return json.Unmarshal(payload, out) == nil
+	case packCodecBinary:
+		c := packCodecFor(kind)
+		return c != nil && c.Decode(payload, out)
+	}
+	return false
+}
+
+// assignDecoded copies a resident decoded value into the caller's out
+// pointer. False (a type mismatch — out is not the pointer type the
+// value was decoded into) falls through to the durable tiers.
+func assignDecoded(out, val any) bool {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return false
+	}
+	ev := rv.Elem()
+	vv := reflect.ValueOf(val)
+	if !vv.IsValid() || vv.Type() != ev.Type() {
+		return false
+	}
+	ev.Set(vv)
+	return true
+}
+
+// promote installs a durable-tier-validated decoded value into the
+// memory tier: a boxed copy of *out, the path whose existence future
+// hits re-confirm, and the durable payload size for byte accounting.
+func (s *Store) promote(mk, conf, src string, size int, out any) {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return
+	}
+	memTier.put(memEntry{key: mk, conf: conf, src: src, size: size, val: rv.Elem().Interface()})
 }
 
 // Store writes the entry for (kind, key), replacing any previous one.

@@ -1,0 +1,49 @@
+package cache
+
+import "sync"
+
+// PackCodec is the bridge between the JSON loose tier and the binary
+// pack tier for one entry kind. The cache package cannot know the
+// payload types it stores (internal/shared and internal/ident import
+// this package, not the other way around), so the packages that own a
+// payload register a codec at init time and compaction consults the
+// registry per kind.
+//
+// EncodeJSON re-encodes one loose JSON payload into the codec's
+// versioned binary form. It is only called at compaction time (never on
+// a hot path) and must be conservative: any payload it does not fully
+// understand — unknown fields, shapes that would not round-trip
+// byte-identically — must return ok=false, in which case the entry is
+// packed as raw JSON instead. Correctness over compactness.
+//
+// Decode decodes a binary payload produced by EncodeJSON into out,
+// which is the same pointer a Load caller handed the store. It runs on
+// the probe path against bytes that alias a read-only mapping, so it
+// must not retain or mutate data. A type mismatch (out is not the type
+// this payload encodes) or any malformed input returns false, which the
+// store treats as a pack miss — the probe falls through to the loose
+// tier or a recompute, never to a wrong answer.
+type PackCodec interface {
+	EncodeJSON(payload []byte) ([]byte, bool)
+	Decode(data []byte, out any) bool
+}
+
+// packCodecs maps kind -> PackCodec. Registration happens in package
+// init functions; lookups happen on probe and compaction paths.
+var packCodecs sync.Map
+
+// RegisterPackCodec installs the binary pack codec for one entry kind.
+// Kinds without a codec are packed as raw JSON (codec 0) and decoded
+// with encoding/json on pack hits — still one binary-search probe into
+// the mapping, just not zero-deserialization. Last registration wins;
+// in practice each owning package registers exactly once from init.
+func RegisterPackCodec(kind string, c PackCodec) {
+	packCodecs.Store(kind, c)
+}
+
+func packCodecFor(kind string) PackCodec {
+	if v, ok := packCodecs.Load(kind); ok {
+		return v.(PackCodec)
+	}
+	return nil
+}

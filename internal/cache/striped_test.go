@@ -49,16 +49,16 @@ func TestStripedTierPropertyVsReference(t *testing.T) {
 					if !stored {
 						t.Fatalf("seed %d: get %q returned an entry never stored", seed, key)
 					}
-					if string(ent.payload) != want {
-						t.Fatalf("seed %d: get %q = %q, want %q", seed, key, ent.payload, want)
+					if got, _ := ent.val.(string); got != want {
+						t.Fatalf("seed %d: get %q = %q, want %q", seed, key, got, want)
 					}
 				}
 				ref.get(key)
 			default: // put
 				payload := strings.Repeat("x", 1+rng.Intn(maxPayload-1))
-				ent := memEntry{key: key, conf: "c", payload: []byte(payload)}
+				ent := memEntry{key: key, conf: "c", size: len(payload), val: payload}
 				striped.put(ent)
-				ref.put(memEntry{key: key, conf: "c", payload: []byte(payload)})
+				ref.put(memEntry{key: key, conf: "c", size: len(payload), val: payload})
 				last[key] = payload
 			}
 

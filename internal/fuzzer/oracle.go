@@ -17,6 +17,7 @@ import (
 
 	"bside"
 	"bside/internal/baseline"
+	"bside/internal/cache"
 	"bside/internal/corpus"
 	"bside/internal/elff"
 	"bside/internal/emu"
@@ -283,6 +284,78 @@ func (o *Oracle) Check(c Case) *Verdict {
 			}).AnalyzeFile(binPath)
 			if err == nil && !res.Cached {
 				return nil, errors.New("legacy-envelope warm run not served from the cache")
+			}
+			return res, err
+		}},
+		// Pack-tier axis: compacting the loose entries (by now all in
+		// the legacy envelope format, so this leg also covers legacy
+		// absorption) into a memory-mapped pack must be invisible in
+		// results — a warm run over the pack is byte-identical to every
+		// other leg, and the hit provably came from the pack tier.
+		leg{"cache-pack", func() (*bside.Analysis, error) {
+			st, err := cache.Open(cacheDir)
+			if err != nil {
+				return nil, err
+			}
+			if cs, err := st.Compact(); err != nil {
+				return nil, err
+			} else if cs.Packed == 0 {
+				return nil, errors.New("compaction packed nothing")
+			}
+			a, err := bside.NewAnalyzerErr(bside.Options{
+				LibraryDir:        o.opts.Universe.Dir,
+				IntraWorkers:      1,
+				CacheDir:          cacheDir,
+				DisableMemoryTier: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := a.AnalyzeFile(binPath)
+			if err == nil {
+				if !res.Cached {
+					return nil, errors.New("packed warm run not served from the cache")
+				}
+				if a.CacheStats().PackHits == 0 {
+					return nil, errors.New("packed warm run did not hit the pack tier")
+				}
+			}
+			return res, err
+		}},
+		// Corruption axis: a damaged pack (one flipped bit, checksum
+		// broken) must be rejected wholesale — the analyzer recomputes
+		// from scratch and still produces the identical fingerprint; it
+		// must never ghost-serve bytes out of a corrupt mapping. The
+		// recompute re-stores loose entries as a side effect.
+		leg{"cache-pack-corrupt", func() (*bside.Analysis, error) {
+			st, err := cache.Open(cacheDir)
+			if err != nil {
+				return nil, err
+			}
+			packs := st.Packs()
+			if len(packs) == 0 {
+				return nil, errors.New("no pack to corrupt")
+			}
+			data, err := os.ReadFile(packs[0])
+			if err != nil {
+				return nil, err
+			}
+			data[len(data)/2] ^= 0x01
+			if err := os.WriteFile(packs[0], data, 0o644); err != nil {
+				return nil, err
+			}
+			a, err := bside.NewAnalyzerErr(bside.Options{
+				LibraryDir:        o.opts.Universe.Dir,
+				IntraWorkers:      1,
+				CacheDir:          cacheDir,
+				DisableMemoryTier: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := a.AnalyzeFile(binPath)
+			if err == nil && res.Cached {
+				return nil, errors.New("corrupt pack still served a cached result")
 			}
 			return res, err
 		}},

@@ -1,0 +1,149 @@
+package ident
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"reflect"
+
+	"bside/internal/cache"
+	"bside/internal/symex"
+	"bside/internal/x86"
+)
+
+// The pack-tier binary codec for "funcsum" entries. One cache kind
+// holds two record shapes — wrapper-detection verdicts and
+// self-contained site identifications — distinguished here by a tag
+// byte. The JSON forms are unambiguous: a wrapperRec always carries
+// "param" (struct fields are never omitempty-elided), a siteRec never
+// does. As with the Summary codec, EncodeJSON round-trips its own
+// output against what encoding/json produces and keeps the JSON
+// payload on any divergence, so packing can only ever change the cost
+// of a hit, not its value.
+//
+//	[0] tag: 1 = wrapperRec, 2 = siteRec
+//
+//	wrapperRec: [1] flags (bit0 Wrapper, bit1 Param.Stack),
+//	  [2] Param.Reg, varint Param.Off, uvarint Steps, uvarint Forks
+//	siteRec: [1] flags (bit0 FailOpen), uvarint len(Syscalls) +
+//	  ascending deltas, uvarint Blocks, uvarint Steps, uvarint Forks
+const (
+	funcsumTagWrapper = 1
+	funcsumTagSite    = 2
+)
+
+type funcsumCodec struct{}
+
+func init() {
+	cache.RegisterPackCodec(memoKind, funcsumCodec{})
+}
+
+func (funcsumCodec) EncodeJSON(payload []byte) ([]byte, bool) {
+	var probe map[string]json.RawMessage
+	if json.Unmarshal(payload, &probe) != nil {
+		return nil, false
+	}
+	if _, isWrapper := probe["param"]; isWrapper {
+		var rec wrapperRec
+		if !strictUnmarshal(payload, &rec) {
+			return nil, false
+		}
+		if rec.Steps < 0 || rec.Forks < 0 {
+			return nil, false
+		}
+		buf := []byte{funcsumTagWrapper, 0}
+		if rec.Wrapper {
+			buf[1] |= 1
+		}
+		if rec.Param.Stack {
+			buf[1] |= 2
+		}
+		buf = append(buf, byte(rec.Param.Reg))
+		buf = binary.AppendVarint(buf, rec.Param.Off)
+		buf = binary.AppendUvarint(buf, uint64(rec.Steps))
+		buf = binary.AppendUvarint(buf, uint64(rec.Forks))
+		var back wrapperRec
+		if !decodeFuncsum(buf, &back) || !reflect.DeepEqual(back, rec) {
+			return nil, false
+		}
+		return buf, true
+	}
+	var rec siteRec
+	if !strictUnmarshal(payload, &rec) {
+		return nil, false
+	}
+	if rec.Blocks < 0 || rec.Steps < 0 || rec.Forks < 0 {
+		return nil, false
+	}
+	buf := []byte{funcsumTagSite, 0}
+	if rec.FailOpen {
+		buf[1] |= 1
+	}
+	var ok bool
+	if buf, ok = cache.AppendDeltas(buf, rec.Syscalls); !ok {
+		return nil, false
+	}
+	buf = binary.AppendUvarint(buf, uint64(rec.Blocks))
+	buf = binary.AppendUvarint(buf, uint64(rec.Steps))
+	buf = binary.AppendUvarint(buf, uint64(rec.Forks))
+	var back siteRec
+	if !decodeFuncsum(buf, &back) || !reflect.DeepEqual(back, rec) {
+		return nil, false
+	}
+	return buf, true
+}
+
+func (funcsumCodec) Decode(data []byte, out any) bool {
+	return decodeFuncsum(data, out)
+}
+
+// decodeFuncsum decodes into out, failing on a tag/type mismatch (the
+// probe falls through — a Load for a wrapper key can never be answered
+// by a site record or vice versa).
+func decodeFuncsum(data []byte, out any) bool {
+	if len(data) < 2 {
+		return false
+	}
+	r := cache.NewPayloadReader(data)
+	switch r.Byte() {
+	case funcsumTagWrapper:
+		rec, ok := out.(*wrapperRec)
+		if !ok {
+			return false
+		}
+		flags := r.Byte()
+		if flags&^byte(3) != 0 {
+			return false
+		}
+		*rec = wrapperRec{Wrapper: flags&1 != 0}
+		rec.Param = symex.ParamRef{Stack: flags&2 != 0, Reg: x86.Reg(r.Byte()), Off: r.Varint()}
+		rec.Steps = int(r.Uvarint())
+		rec.Forks = int(r.Uvarint())
+		return r.Done()
+	case funcsumTagSite:
+		rec, ok := out.(*siteRec)
+		if !ok {
+			return false
+		}
+		flags := r.Byte()
+		if flags&^byte(1) != 0 {
+			return false
+		}
+		*rec = siteRec{FailOpen: flags&1 != 0}
+		rec.Syscalls = r.Deltas()
+		rec.Blocks = int(r.Uvarint())
+		rec.Steps = int(r.Uvarint())
+		rec.Forks = int(r.Uvarint())
+		return r.Done()
+	}
+	return false
+}
+
+// strictUnmarshal decodes payload into out refusing unknown fields, so
+// a payload written by a newer record shape stays JSON in the pack
+// instead of silently dropping data.
+func strictUnmarshal(payload []byte, out any) bool {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	return dec.Decode(out) == nil
+}

@@ -1,0 +1,119 @@
+package ident
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"bside/internal/symex"
+)
+
+// TestFuncsumCodecRoundTrip: wrapper and site records must round-trip
+// bit-exactly through the binary codec against the JSON oracle.
+func TestFuncsumCodecRoundTrip(t *testing.T) {
+	roundTrip := func(name string, in, out any) {
+		t.Helper()
+		payload, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, ok := funcsumCodec{}.EncodeJSON(payload)
+		if !ok {
+			t.Fatalf("%s: codec refused %s", name, payload)
+		}
+		if !(funcsumCodec{}).Decode(enc, out) {
+			t.Fatalf("%s: decode failed", name)
+		}
+		got := reflect.ValueOf(out).Elem().Interface()
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("%s: round trip drifted:\n got %+v\nwant %+v", name, got, in)
+		}
+	}
+	wrappers := []wrapperRec{
+		{},
+		{Wrapper: true, Param: symex.ParamRef{Reg: 5}, Steps: 12, Forks: 1},
+		{Wrapper: true, Param: symex.ParamRef{Stack: true, Off: -16}, Steps: 300},
+		{Param: symex.ParamRef{Off: 1 << 20}, Forks: 7},
+	}
+	for _, in := range wrappers {
+		var out wrapperRec
+		roundTrip("wrapper", in, &out)
+	}
+	sites := []siteRec{
+		{},
+		{Syscalls: []uint64{60}, Blocks: 3, Steps: 40, Forks: 2},
+		{Syscalls: []uint64{0, 1, 3, 231}, FailOpen: false, Blocks: 9},
+		{FailOpen: true, Steps: 5000},
+	}
+	for _, in := range sites {
+		var out siteRec
+		roundTrip("site", in, &out)
+	}
+}
+
+// TestFuncsumCodecTagTypeMismatch: a wrapper payload can never decode
+// into a site record or vice versa — the probe must fall through as a
+// miss rather than confuse the two shapes sharing the funcsum kind.
+func TestFuncsumCodecTagTypeMismatch(t *testing.T) {
+	wPayload, _ := json.Marshal(wrapperRec{Wrapper: true, Steps: 3})
+	wEnc, ok := funcsumCodec{}.EncodeJSON(wPayload)
+	if !ok {
+		t.Fatal("codec refused a wrapper record")
+	}
+	sPayload, _ := json.Marshal(siteRec{Syscalls: []uint64{60}})
+	sEnc, ok := funcsumCodec{}.EncodeJSON(sPayload)
+	if !ok {
+		t.Fatal("codec refused a site record")
+	}
+	var w wrapperRec
+	var s siteRec
+	if (funcsumCodec{}).Decode(wEnc, &s) {
+		t.Error("wrapper bytes decoded into a site record")
+	}
+	if (funcsumCodec{}).Decode(sEnc, &w) {
+		t.Error("site bytes decoded into a wrapper record")
+	}
+	if !(funcsumCodec{}).Decode(wEnc, &w) || !(funcsumCodec{}).Decode(sEnc, &s) {
+		t.Error("matched decodes failed")
+	}
+}
+
+// TestFuncsumCodecRefusals: shapes that must stay JSON in the pack.
+func TestFuncsumCodecRefusals(t *testing.T) {
+	for _, tc := range []struct{ name, payload string }{
+		{"wrapper-unknown-field", `{"param":{"Stack":false,"Reg":0,"Off":0},"future":1}`},
+		{"site-unknown-field", `{"syscalls":[1],"future":1}`},
+		{"site-unsorted", `{"syscalls":[60,1]}`},
+		{"wrapper-negative-steps", `{"param":{"Stack":false,"Reg":0,"Off":0},"steps":-1}`},
+		{"site-negative-blocks", `{"blocks":-2}`},
+		{"not-json", `{"blocks":`},
+	} {
+		if _, ok := (funcsumCodec{}).EncodeJSON([]byte(tc.payload)); ok {
+			t.Errorf("%s: codec accepted %s", tc.name, tc.payload)
+		}
+	}
+}
+
+// TestFuncsumCodecDecodeRejectsDamage: truncations and unknown tags
+// fail cleanly.
+func TestFuncsumCodecDecodeRejectsDamage(t *testing.T) {
+	payload, _ := json.Marshal(siteRec{Syscalls: []uint64{1, 60}, Blocks: 2, Steps: 9, Forks: 1})
+	enc, ok := funcsumCodec{}.EncodeJSON(payload)
+	if !ok {
+		t.Fatal("codec refused a clean site record")
+	}
+	var s siteRec
+	for cut := 0; cut < len(enc); cut++ {
+		if (funcsumCodec{}).Decode(enc[:cut], &s) {
+			t.Errorf("decoded a %d/%d-byte truncation", cut, len(enc))
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99
+	if (funcsumCodec{}).Decode(bad, &s) {
+		t.Error("decoded an unknown tag")
+	}
+	if (funcsumCodec{}).Decode(append(append([]byte(nil), enc...), 0), &s) {
+		t.Error("decoded despite trailing bytes")
+	}
+}

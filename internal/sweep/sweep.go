@@ -130,6 +130,12 @@ type Summary struct {
 	BinariesPerSec float64          `json:"binaries_per_sec"`
 	// WarmHitRatio is Warm/Analyzed (0 when nothing analyzed).
 	WarmHitRatio float64 `json:"warm_hit_ratio"`
+	// PackHits counts cache loads the analyzer served from a
+	// memory-mapped cache pack so far (see bside.CacheStats.PackHits);
+	// PackBytesMapped gauges the mapped pack bytes. Both zero when no
+	// pack is attached.
+	PackHits        uint64 `json:"pack_hits,omitempty"`
+	PackBytesMapped int64  `json:"pack_bytes_mapped,omitempty"`
 	// P50Ms and P99Ms are per-binary latency quantiles from the
 	// log2-bucket histogram (upper-bound estimates).
 	P50Ms float64 `json:"p50_ms"`
@@ -215,6 +221,11 @@ func (st *state) summaryLocked() *Summary {
 	}
 	if s.Analyzed > 0 {
 		s.WarmHitRatio = float64(s.Warm) / float64(s.Analyzed)
+	}
+	if st.opts.Analyzer != nil {
+		cs := st.opts.Analyzer.CacheStats()
+		s.PackHits = cs.PackHits
+		s.PackBytesMapped = cs.PackBytesMapped
 	}
 	s.P50Ms = float64(s.Latency.Quantile(0.50).Microseconds()) / 1000
 	s.P99Ms = float64(s.Latency.Quantile(0.99).Microseconds()) / 1000
