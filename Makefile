@@ -4,7 +4,7 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build vet fmt-check test race bench bench-compare bench-check profile fuzz fuzz-nightly serve-smoke sweep-smoke pack-smoke
+.PHONY: all build vet fmt-check test race bench bench-compare bench-check profile fuzz fuzz-nightly fuzz-malformed serve-smoke sweep-smoke pack-smoke
 
 all: build vet fmt-check test
 
@@ -34,7 +34,8 @@ test:
 race:
 	$(GO) test -race ./internal/cache/... ./internal/shared/... \
 		./internal/pipeline/... ./internal/ident/... ./internal/cfg/... \
-		./internal/fuzzer/... ./internal/serve/... ./internal/sweep/... .
+		./internal/fuzzer/... ./internal/serve/... ./internal/sweep/... \
+		./internal/elff/... ./internal/guard/... ./internal/faults/... .
 
 # One-iteration benchmark smoke run.
 bench:
@@ -119,6 +120,19 @@ FUZZ_SEEDS ?= 50
 FUZZ_START ?= 1
 fuzz:
 	$(GO) run ./cmd/bside fuzz -seeds $(FUZZ_SEEDS) -start $(FUZZ_START) -repro fuzz-repros
+
+# Adversarial-input smoke: replays the checked-in malformed-ELF corpus
+# under the race detector (structured rejection through every entry
+# path, allocation-bomb ceiling), then gives each coverage-guided ELF
+# fuzz target a bounded mutation budget. Corpus replay is cheap and
+# deterministic; the -fuzztime legs hunt for new crashers. A crasher
+# found here lands in internal/elff/testdata/fuzz/ — minimize it and
+# promote it into testdata/malformed/ with the others.
+FUZZTIME ?= 30s
+fuzz-malformed:
+	$(GO) test -race -run 'Malformed|AllocationBomb|Corpus' ./internal/elff/ . ./internal/serve/
+	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/elff/
+	$(GO) test -run '^$$' -fuzz '^FuzzOpenBinary$$' -fuzztime $(FUZZTIME) ./internal/elff/
 
 # The nightly CI shape: a wider seed range under the race detector,
 # plus the per-seed precision report (identified vs resolver-off vs

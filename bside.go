@@ -59,13 +59,37 @@ import (
 
 	"bside/internal/cache"
 	"bside/internal/elff"
+	"bside/internal/faults"
 	"bside/internal/filter"
+	"bside/internal/guard"
 	"bside/internal/ident"
 	"bside/internal/linux"
 	"bside/internal/phases"
 	"bside/internal/pipeline"
 	"bside/internal/shared"
 )
+
+// PanicError is a panic raised while analyzing one binary, converted
+// into a structured error at the analysis fault boundary
+// (internal/guard). It carries the pipeline stage, the image's content
+// hash, and the panicking goroutine's stack; it surfaces like any
+// other per-binary failure — AnalyzeFile's error, a batch entry's
+// Analysis.Err — and is never cached, so one hostile binary costs its
+// own result and nothing else. ErrMalformed is the other half of the
+// taxonomy: input the parser rejected, rather than analysis code that
+// blew up.
+type PanicError = guard.PanicError
+
+// IsPanic unwraps an analysis error to its PanicError, if the failure
+// was a contained panic. Service tiers use it to split "we crashed on
+// this input" (HTTP 500, panics_total) from ordinary analysis failures.
+func IsPanic(err error) (*PanicError, bool) { return guard.AsPanic(err) }
+
+// ErrMalformed classifies failures caused by the input image itself —
+// truncated or contradictory ELF headers, out-of-range offsets,
+// header-driven sizes exceeding the file. errors.Is(err, ErrMalformed)
+// holds for every parse rejection from any entry path.
+var ErrMalformed = elff.ErrMalformed
 
 // Options configures an Analyzer.
 type Options struct {
@@ -291,6 +315,13 @@ type CacheStats struct {
 	PackBytesMapped int64 `json:"pack_bytes_mapped"`
 	// StoredBytes counts envelope bytes written to the disk tier.
 	StoredBytes uint64 `json:"stored_bytes"`
+	// CacheIOErrors counts durable-tier operations that failed for
+	// reasons other than "entry absent" — unreadable loose files,
+	// failed writes. Analysis proceeds regardless (reads degrade to
+	// misses, writes are dropped), but a climbing count means the cache
+	// directory is unhealthy; the serve tier's /healthz reports
+	// degraded past a threshold.
+	CacheIOErrors uint64 `json:"cache_io_errors"`
 	// MemoryEvictions counts entries pushed out of the memory tier by
 	// its LRU size bounds. Like the FuncMemo fields it is process-wide:
 	// the tier is shared by every Analyzer in the process. A resident
@@ -331,6 +362,7 @@ func (a *Analyzer) CacheStats() CacheStats {
 		out.PackBytesMapped = st.PackBytesMapped
 		out.MemoryEvictions = st.MemoryEvictions
 		out.MemoryEntries, out.MemoryBytes = st.MemoryEntries, st.MemoryBytes
+		out.CacheIOErrors = st.IOErrors
 	}
 	ms := ident.ProcessMemo().Stats()
 	out.FuncMemoHits, out.FuncMemoMisses, out.FuncMemoEntries = ms.Hits, ms.Misses, ms.Entries
@@ -429,7 +461,11 @@ func (a *Analyzer) AnalyzeFileContext(ctx context.Context, path string) (*Analys
 	if err != nil {
 		return nil, err
 	}
-	res, rerr := a.analyzeData(ctx, im.Data, path, true)
+	// Fault-injection seam: tests corrupt the image bytes here to drive
+	// damaged-in-transit binaries through the real file path. Unarmed
+	// (always, in production) it returns im.Data untouched.
+	data := faults.TamperImage(path, im.Data)
+	res, rerr := a.analyzeData(ctx, data, path, true)
 	if res != nil && im.Mapped() {
 		res.detachBlob()
 	}
@@ -503,7 +539,21 @@ func (a *Analyzer) Lookup(hash string) (*Analysis, bool) {
 // image — is the binary fully parsed and analyzed. alias lets the
 // parse view the loadable segment in place (data outlives the
 // analysis — the file frontend's mapped image) instead of copying it.
+//
+// The whole call runs inside the outermost per-binary fault boundary:
+// deeper boundaries (pipeline stages, worker units, the library
+// singleflight) convert panics closest to their origin with the
+// richest context, and this frontend capture is the backstop for
+// everything between them — identity probing, parsing, stitching,
+// module merging — so no panic raised while analyzing one binary can
+// escape a public entry point.
 func (a *Analyzer) analyzeData(ctx context.Context, data []byte, path string, alias bool) (*Analysis, error) {
+	return guard.Capture1("frontend", "", func() (*Analysis, error) {
+		return a.analyzeDataInner(ctx, data, path, alias)
+	})
+}
+
+func (a *Analyzer) analyzeDataInner(ctx context.Context, data []byte, path string, alias bool) (*Analysis, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("bside: analysis aborted: %w", err)
 	}

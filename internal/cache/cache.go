@@ -73,7 +73,9 @@ package cache
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -81,6 +83,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bside/internal/faults"
 )
 
 // formatVersion is the envelope version the writer produces. Version
@@ -365,6 +369,7 @@ type Store struct {
 	misses      atomic.Uint64
 	stores      atomic.Uint64
 	storedBytes atomic.Uint64
+	ioErrors    atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of cache traffic.
@@ -401,6 +406,13 @@ type Stats struct {
 	// process-wide memory tier's population and payload footprint.
 	MemoryEntries int
 	MemoryBytes   int64
+	// IOErrors counts durable-tier operations that failed for reasons
+	// other than "entry absent": unreadable loose files on Load, any
+	// failed Store. Analysis proceeds either way (a failed read is a
+	// miss, a failed write is dropped), but a climbing count means the
+	// cache directory itself is unhealthy — the signal the serve tier's
+	// degraded-health check consumes.
+	IOErrors uint64
 }
 
 // Open returns a store rooted at dir, creating it if needed. Pack
@@ -444,6 +456,7 @@ func (s *Store) Stats() Stats {
 		Misses:          s.misses.Load(),
 		Stores:          s.stores.Load(),
 		StoredBytes:     s.storedBytes.Load(),
+		IOErrors:        s.ioErrors.Load(),
 		MemoryEvictions: memTier.evictions(),
 		MemoryEntries:   entries,
 		MemoryBytes:     bytes,
@@ -508,6 +521,13 @@ func (s *Store) load(kind, key, conf string, anyConf bool, out any) (string, boo
 		s.misses.Add(1)
 		return "", false
 	}
+	if err := faults.Fire(faults.CacheRead, kind+"/"+key); err != nil {
+		// Injected disk failure: counted and served as a miss, exactly
+		// like the real unreadable-file path below.
+		s.ioErrors.Add(1)
+		s.misses.Add(1)
+		return "", false
+	}
 	useMem := !s.noMem.Load()
 	mk := ""
 	if useMem {
@@ -563,6 +583,12 @@ func (s *Store) load(kind, key, conf string, anyConf bool, out any) (string, boo
 	path := s.path(kind, key)
 	data, err := os.ReadFile(path)
 	if err != nil {
+		// Absence is the normal cold-cache miss; anything else
+		// (permissions, EIO, a file that vanished mid-read) is the disk
+		// misbehaving and feeds the degraded-health signal.
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.ioErrors.Add(1)
+		}
 		s.misses.Add(1)
 		return "", false
 	}
@@ -638,9 +664,16 @@ func (s *Store) promote(mk, conf, src string, size int, out any) {
 }
 
 // Store writes the entry for (kind, key), replacing any previous one.
+// Disk failures are counted in Stats.IOErrors on top of being returned
+// — most callers drop store errors (the cache is best-effort), so the
+// counter is how repeated write failures stay visible.
 func (s *Store) Store(kind, key, conf string, payload any) error {
 	if len(key) < 2 {
 		return fmt.Errorf("cache: invalid key %q", key)
+	}
+	if err := faults.Fire(faults.CacheWrite, kind+"/"+key); err != nil {
+		s.ioErrors.Add(1)
+		return fmt.Errorf("cache: write %s/%s: %w", kind, key, err)
 	}
 	raw, err := json.Marshal(payload)
 	if err != nil {
@@ -660,11 +693,13 @@ func (s *Store) Store(kind, key, conf string, payload any) error {
 	mu.Lock()
 	defer mu.Unlock()
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.ioErrors.Add(1)
 		return fmt.Errorf("cache: %w", err)
 	}
 	sweepStaleTemps(filepath.Dir(path))
 	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-*")
 	if err != nil {
+		s.ioErrors.Add(1)
 		return fmt.Errorf("cache: %w", err)
 	}
 	_, werr := tmp.Write(data)
@@ -674,10 +709,12 @@ func (s *Store) Store(kind, key, conf string, payload any) error {
 		if werr == nil {
 			werr = cerr
 		}
+		s.ioErrors.Add(1)
 		return fmt.Errorf("cache: write %s: %w", path, werr)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		_ = os.Remove(tmp.Name())
+		s.ioErrors.Add(1)
 		return fmt.Errorf("cache: %w", err)
 	}
 	// Drop any memory copy: the tier is read-through, so the next Load

@@ -1,0 +1,87 @@
+package elff
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedCorpus feeds every malformed corpus entry — plus one well-formed
+// image so the fuzzer starts with a parse-accepting shape to mutate —
+// into f.
+func seedCorpus(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "malformed", "*.elf"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("malformed corpus unavailable: %v (%d entries)", err, len(paths))
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	good, err := Write(Spec{
+		Kind:  KindStatic,
+		Base:  0x400000,
+		Entry: 0x400000,
+		Blob:  []byte{0x0F, 0x05, 0xC3, 0x90},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+}
+
+// FuzzRead throws mutated images at the in-memory parser. The oracle
+// is pure containment plus internal consistency: no panic, no
+// unbounded allocation (the engine's memory limits catch those), and
+// on success a Binary whose size fields agree with its blob.
+func FuzzRead(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Read(data)
+		if err != nil {
+			return
+		}
+		if b.CodeSize > uint64(len(b.Blob)) {
+			t.Fatalf("CodeSize %d exceeds blob %d", b.CodeSize, len(b.Blob))
+		}
+		if b.Hash == "" {
+			t.Fatal("accepted binary has empty hash")
+		}
+		for _, ds := range b.DataSections {
+			if ds.Addr < b.Base || ds.Addr-b.Base+ds.Size > uint64(len(b.Blob)) {
+				t.Fatalf("data section %q [%#x,+%#x) escapes blob", ds.Name, ds.Addr, ds.Size)
+			}
+		}
+	})
+}
+
+// FuzzOpenBinary drives the same mutated images through the file
+// frontend — mmap aliasing and copying paths both — and checks the two
+// agree on acceptance and content hash. A divergence would mean the
+// zero-copy path parses hostile input differently from the portable
+// one.
+func FuzzOpenBinary(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "img.elf")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		mapped, mErr := OpenBinary(path, false)
+		copied, cErr := OpenBinary(path, true)
+		if (mErr == nil) != (cErr == nil) {
+			t.Fatalf("frontends disagree: mmap err=%v, copy err=%v", mErr, cErr)
+		}
+		if mErr == nil {
+			if mapped.Hash != copied.Hash {
+				t.Fatalf("frontends hash differently: %s vs %s", mapped.Hash, copied.Hash)
+			}
+			mapped.ReleaseImage()
+			copied.ReleaseImage()
+		}
+	})
+}

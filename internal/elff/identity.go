@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"fmt"
 )
 
 // Identity is the cheap content identity of an ELF image: exactly the
@@ -43,17 +42,17 @@ const (
 func ReadIdentity(data []byte) (Identity, error) {
 	var id Identity
 	if len(data) < 64 || data[0] != 0x7F || data[1] != 'E' || data[2] != 'L' || data[3] != 'F' {
-		return id, fmt.Errorf("elff: not an ELF image")
+		return id, badImage("not an ELF image")
 	}
 	if data[4] != elfClass64 || data[5] != elfDataLE {
-		return id, fmt.Errorf("elff: not a little-endian ELF64 image")
+		return id, badImage("not a little-endian ELF64 image")
 	}
 	etype := binary.LittleEndian.Uint16(data[16:])
 	if etype != elfTypeExec && etype != elfTypeDyn {
-		return id, fmt.Errorf("elff: unsupported ELF type %d", etype)
+		return id, badImage("unsupported ELF type %d", etype)
 	}
 	if machine := binary.LittleEndian.Uint16(data[18:]); machine != elfMachX86_64 {
-		return id, fmt.Errorf("elff: unsupported machine %d", machine)
+		return id, badImage("unsupported machine %d", machine)
 	}
 
 	sum := sha256.Sum256(data)
@@ -66,11 +65,11 @@ func ReadIdentity(data []byte) (Identity, error) {
 		return id, nil // no sections: no dynamic info
 	}
 	if shentsize != shentSize64 {
-		return id, fmt.Errorf("elff: unexpected section header size %d", shentsize)
+		return id, badImage("unexpected section header size %d", shentsize)
 	}
 	end := shoff + uint64(shnum)*shentSize64
 	if shoff > uint64(len(data)) || end < shoff || end > uint64(len(data)) {
-		return id, fmt.Errorf("elff: section headers out of bounds")
+		return id, badImage("section headers out of bounds")
 	}
 
 	section := func(i uint16) []byte {
@@ -85,16 +84,16 @@ func ReadIdentity(data []byte) (Identity, error) {
 		dynSize := binary.LittleEndian.Uint64(sh[32:])
 		link := binary.LittleEndian.Uint32(sh[40:])
 		if dynOff+dynSize < dynOff || dynOff+dynSize > uint64(len(data)) {
-			return id, fmt.Errorf("elff: dynamic section out of bounds")
+			return id, badImage("dynamic section out of bounds")
 		}
 		if link >= uint32(shnum) {
-			return id, fmt.Errorf("elff: dynamic strtab link out of range")
+			return id, badImage("dynamic strtab link out of range")
 		}
 		str := section(uint16(link))
 		strOff := binary.LittleEndian.Uint64(str[24:])
 		strSize := binary.LittleEndian.Uint64(str[32:])
 		if strOff+strSize < strOff || strOff+strSize > uint64(len(data)) {
-			return id, fmt.Errorf("elff: dynamic strtab out of bounds")
+			return id, badImage("dynamic strtab out of bounds")
 		}
 		strtab := data[strOff : strOff+strSize]
 
@@ -109,7 +108,7 @@ func ReadIdentity(data []byte) (Identity, error) {
 			}
 			val := binary.LittleEndian.Uint64(dyn[off+8:])
 			if val >= uint64(len(strtab)) {
-				return id, fmt.Errorf("elff: DT_NEEDED name out of strtab range")
+				return id, badImage("DT_NEEDED name out of strtab range")
 			}
 			name := strtab[val:]
 			n := 0
@@ -117,7 +116,7 @@ func ReadIdentity(data []byte) (Identity, error) {
 				n++
 			}
 			if n == len(name) {
-				return id, fmt.Errorf("elff: unterminated DT_NEEDED name")
+				return id, badImage("unterminated DT_NEEDED name")
 			}
 			id.Needed = append(id.Needed, string(name[:n]))
 		}

@@ -61,13 +61,31 @@ func openImage(path string, noMmap bool) (*Image, error) {
 		}
 		if st.Mode().IsRegular() && st.Size() > 0 {
 			data, mapped, err := mmapFile(f, st.Size())
-			// The mapping survives the descriptor; close it either way.
-			f.Close()
 			if err != nil {
+				f.Close()
 				return nil, fmt.Errorf("elff: mmap %s: %w", path, err)
 			}
 			if mapped {
-				return &Image{Path: path, Data: data, mapped: true}, nil
+				// SIGBUS containment: touching mapped pages past the
+				// file's current EOF is a process-killing fault, not an
+				// error we can recover. Re-stat through the same
+				// descriptor after mapping — if the file shrank between
+				// the first stat and the mmap, drop the view and fall
+				// back to the copying path, which reads whatever bytes
+				// actually exist. A file truncated *after* this check is
+				// outside the frontier static analysis can defend
+				// (callers sweeping live trees own file stability, per
+				// OpenMapped's contract).
+				st2, err := f.Stat()
+				f.Close()
+				if err != nil || st2.Size() < st.Size() {
+					_ = munmapFile(data)
+				} else {
+					return &Image{Path: path, Data: data, mapped: true}, nil
+				}
+			} else {
+				// The mapping survives the descriptor; close it either way.
+				f.Close()
 			}
 		} else {
 			f.Close()

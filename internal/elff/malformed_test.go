@@ -1,0 +1,123 @@
+package elff
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// corpusPaths returns every checked-in malformed image. Failing when
+// the corpus is empty guards against the directory silently going
+// missing (which would turn the whole suite into a vacuous pass).
+func corpusPaths(t testing.TB) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "malformed", "*.elf"))
+	if err != nil {
+		t.Fatalf("glob corpus: %v", err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("malformed corpus is empty — regenerate with go run testdata/malformed/gen.go")
+	}
+	return paths
+}
+
+// TestMalformedCorpus replays every corpus entry through both parse
+// frontends (in-memory Read and the mmap-backed OpenBinary) and the
+// identity probe: each must return a structured error — classified
+// ErrMalformed for the full parsers — without panicking.
+func TestMalformedCorpus(t *testing.T) {
+	for _, path := range corpusPaths(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if b, err := Read(data); err == nil {
+				t.Fatalf("Read accepted malformed image (kind=%v blob=%d)", b.Kind, len(b.Blob))
+			} else if !errors.Is(err, ErrMalformed) {
+				t.Errorf("Read error not classified ErrMalformed: %v", err)
+			}
+
+			for _, noMmap := range []bool{false, true} {
+				b, err := OpenBinary(path, noMmap)
+				if err == nil {
+					b.ReleaseImage()
+					t.Fatalf("OpenBinary(noMmap=%v) accepted malformed image", noMmap)
+				}
+				if !errors.Is(err, ErrMalformed) {
+					t.Errorf("OpenBinary(noMmap=%v) error not classified ErrMalformed: %v", noMmap, err)
+				}
+			}
+
+			// The identity fast path may accept (it is only a hash
+			// probe and never touches program headers) — what matters
+			// is it neither panics nor hands back a result the full
+			// parser would then contradict on the hash.
+			if id, err := ReadIdentity(data); err == nil && id.Hash == "" {
+				t.Errorf("ReadIdentity returned empty hash without error")
+			}
+		})
+	}
+}
+
+// TestAllocationBomb pins the satellite fix: a ~128-byte file whose
+// PT_LOAD header demands 8 GiB of zero-fill must be rejected without
+// the parser allocating anything like that much. Before the clamp,
+// blob := make([]byte, p.Memsz) allocated attacker-controlled sizes
+// straight from the header.
+func TestAllocationBomb(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "malformed", "memsz-bomb.elf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 256 {
+		t.Fatalf("bomb file unexpectedly large: %d bytes", len(data))
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, rerr := Read(data)
+	runtime.ReadMemStats(&after)
+
+	if rerr == nil {
+		t.Fatal("Read accepted the allocation bomb")
+	}
+	if !errors.Is(rerr, ErrMalformed) {
+		t.Fatalf("bomb rejection not classified ErrMalformed: %v", rerr)
+	}
+	// The 8 GiB the header asks for must never hit the allocator; allow
+	// generous slack for parser bookkeeping.
+	const allocBudget = 16 << 20
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > allocBudget {
+		t.Fatalf("rejecting a %d-byte file allocated %d bytes (budget %d)", len(data), grew, allocBudget)
+	}
+}
+
+// TestBSSWithinBoundsStillParses guards against the clamp
+// over-rejecting: a legitimate layout with modest trailing BSS
+// (Filesz < Memsz within maxBSSBytes) must still parse via the
+// copying path.
+func TestBSSWithinBoundsStillParses(t *testing.T) {
+	spec := Spec{
+		Kind:  KindStatic,
+		Base:  0x400000,
+		Entry: 0x400000,
+		Blob:  []byte{0x0F, 0x05, 0xC3, 0x90, 0x90, 0x90, 0x90, 0x90},
+	}
+	data, err := Write(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Read(data)
+	if err != nil {
+		t.Fatalf("well-formed image rejected: %v", err)
+	}
+	if len(b.Blob) == 0 {
+		t.Fatal("parsed binary has empty blob")
+	}
+}

@@ -6,9 +6,31 @@ import (
 	"debug/elf"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 )
+
+// ErrMalformed marks every parse failure caused by the image itself —
+// truncated headers, out-of-range offsets, header-driven size fields
+// that exceed the file, unsupported machine/type values. Callers
+// classify with errors.Is(err, ErrMalformed): the serve tier maps it
+// to HTTP 400 (client sent garbage) instead of 500 (we broke), and
+// the sweep tier counts it as an input failure rather than an
+// analyzer fault.
+var ErrMalformed = errors.New("malformed ELF image")
+
+// badImage wraps a structural parse failure so it is both ErrMalformed
+// (classification) and the specific cause (diagnosis).
+func badImage(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}
+
+// maxBSSBytes bounds how much zero-filled memory a PT_LOAD header can
+// demand beyond its file-backed bytes (Memsz - Filesz). Real BSS in
+// the binaries this analyzer targets is megabytes at most; a header
+// asking for more is an allocation bomb, not a program.
+const maxBSSBytes = 64 << 20
 
 // Binary is a parsed ELF image ready for analysis or emulation.
 type Binary struct {
@@ -186,12 +208,12 @@ func ReadPrehashedAlias(data []byte, hash string) (*Binary, error) {
 func readHashed(data []byte, hash string, alias bool) (*Binary, error) {
 	f, err := elf.NewFile(bytes.NewReader(data))
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+		return nil, fmt.Errorf("%w: parse: %w", ErrMalformed, err)
 	}
 	defer f.Close()
 
 	if f.Machine != elf.EM_X86_64 {
-		return nil, fmt.Errorf("unsupported machine %v", f.Machine)
+		return nil, badImage("unsupported machine %v", f.Machine)
 	}
 
 	if hash == "" {
@@ -207,30 +229,40 @@ func readHashed(data []byte, hash string, alias bool) (*Binary, error) {
 	case f.Type == elf.ET_DYN:
 		out.Kind = KindShared
 	default:
-		return nil, fmt.Errorf("unsupported ELF type %v", f.Type)
+		return nil, badImage("unsupported ELF type %v", f.Type)
 	}
 
 	for _, p := range f.Progs {
 		if p.Type != elf.PT_LOAD {
 			continue
 		}
-		if alias && p.Filesz == p.Memsz && p.Off <= uint64(len(data)) && p.Filesz <= uint64(len(data))-p.Off {
+		// Every size and offset below comes straight from an untrusted
+		// header; clamp against the actual file before believing any of
+		// it. A 100-byte file must not be able to request gigabytes.
+		if p.Off > uint64(len(data)) || p.Filesz > uint64(len(data))-p.Off {
+			return nil, badImage("PT_LOAD file range [%#x,+%#x) exceeds image size %d", p.Off, p.Filesz, len(data))
+		}
+		if p.Memsz < p.Filesz {
+			return nil, badImage("PT_LOAD memsz %#x smaller than filesz %#x", p.Memsz, p.Filesz)
+		}
+		if p.Memsz-p.Filesz > maxBSSBytes {
+			return nil, badImage("PT_LOAD demands %#x zero-fill bytes (limit %#x)", p.Memsz-p.Filesz, uint64(maxBSSBytes))
+		}
+		if alias && p.Filesz == p.Memsz {
 			// Zero-copy: the loadable region is fully materialized in
 			// the file, so the blob can be a view into the source bytes
 			// (typically an mmap'd image) instead of a heap copy.
 			out.Blob = data[p.Off : p.Off+p.Filesz : p.Off+p.Filesz]
 		} else {
 			blob := make([]byte, p.Memsz)
-			if _, err := p.ReadAt(blob[:p.Filesz], 0); err != nil {
-				return nil, fmt.Errorf("segment read: %w", err)
-			}
+			copy(blob, data[p.Off:p.Off+p.Filesz])
 			out.Blob = blob
 		}
 		out.Base = p.Vaddr
 		break // single-PT_LOAD images by construction
 	}
 	if out.Blob == nil {
-		return nil, fmt.Errorf("no PT_LOAD segment")
+		return nil, badImage("no PT_LOAD segment")
 	}
 	out.CodeSize = uint64(len(out.Blob))
 	if ts := f.Section(".text"); ts != nil && ts.Size > 0 && ts.Size <= out.CodeSize {
@@ -251,7 +283,7 @@ func readHashed(data []byte, hash string, alias bool) (*Binary, error) {
 	if rp := f.Section(".rela.plt"); rp != nil && len(dynsyms) > 0 {
 		data, err := rp.Data()
 		if err != nil {
-			return nil, fmt.Errorf(".rela.plt: %w", err)
+			return nil, fmt.Errorf("%w: .rela.plt: %w", ErrMalformed, err)
 		}
 		for off := 0; off+24 <= len(data); off += 24 {
 			slot := binary.LittleEndian.Uint64(data[off:])
@@ -260,8 +292,8 @@ func readHashed(data []byte, hash string, alias bool) (*Binary, error) {
 				continue
 			}
 			symIdx := info >> 32
-			if symIdx == 0 || int(symIdx) > len(dynsyms) {
-				return nil, fmt.Errorf(".rela.plt: bad symbol index %d", symIdx)
+			if symIdx == 0 || symIdx > uint64(len(dynsyms)) {
+				return nil, badImage(".rela.plt: bad symbol index %d", symIdx)
 			}
 			out.Imports = append(out.Imports, Import{
 				Name:     dynsyms[symIdx-1].Name,
@@ -300,7 +332,7 @@ func readHashed(data []byte, hash string, alias bool) (*Binary, error) {
 	if rd := f.Section(".rela.dyn"); rd != nil {
 		data, err := rd.Data()
 		if err != nil {
-			return nil, fmt.Errorf(".rela.dyn: %w", err)
+			return nil, fmt.Errorf("%w: .rela.dyn: %w", ErrMalformed, err)
 		}
 		for off := 0; off+24 <= len(data); off += 24 {
 			info := binary.LittleEndian.Uint64(data[off+8:])

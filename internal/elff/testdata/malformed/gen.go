@@ -1,0 +1,138 @@
+//go:build ignore
+
+// gen regenerates the checked-in malformed-ELF corpus. Each case is a
+// hand-crafted ELF64 image exercising one hostile-header shape the
+// parser must reject with a structured error — never a panic, never an
+// attacker-sized allocation. Run from this directory:
+//
+//	go run gen.go
+//
+// The .elf outputs are committed; tests and the fuzz seeds replay them
+// without running this file (the ignore build tag keeps it out of the
+// package).
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+var le = binary.LittleEndian
+
+// header assembles an ELF64 header with the given type/machine and
+// program/section header table geometry. Defaults describe a plausible
+// little-endian x86-64 executable; cases mutate from there.
+func header(etype, machine uint16, phoff uint64, phnum uint16, shoff uint64, shnum, shstrndx uint16) []byte {
+	h := make([]byte, 64)
+	copy(h, []byte{0x7F, 'E', 'L', 'F', 2, 1, 1})
+	le.PutUint16(h[16:], etype)
+	le.PutUint16(h[18:], machine)
+	le.PutUint32(h[20:], 1)        // e_version
+	le.PutUint64(h[24:], 0x400000) // e_entry
+	le.PutUint64(h[32:], phoff)    // e_phoff
+	le.PutUint64(h[40:], shoff)    // e_shoff
+	le.PutUint16(h[52:], 64)       // e_ehsize
+	le.PutUint16(h[54:], 56)       // e_phentsize
+	le.PutUint16(h[56:], phnum)    // e_phnum
+	le.PutUint16(h[58:], 64)       // e_shentsize
+	le.PutUint16(h[60:], shnum)    // e_shnum
+	le.PutUint16(h[62:], shstrndx) // e_shstrndx
+	return h
+}
+
+// load assembles one PT_LOAD program header.
+func load(off, filesz, memsz uint64) []byte {
+	p := make([]byte, 56)
+	le.PutUint32(p[0:], 1) // PT_LOAD
+	le.PutUint32(p[4:], 5) // R+X
+	le.PutUint64(p[8:], off)
+	le.PutUint64(p[16:], 0x400000) // p_vaddr
+	le.PutUint64(p[24:], 0x400000) // p_paddr
+	le.PutUint64(p[32:], filesz)
+	le.PutUint64(p[40:], memsz)
+	le.PutUint64(p[48:], 0x1000) // p_align
+	return p
+}
+
+func concat(parts ...[]byte) []byte {
+	var out []byte
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func main() {
+	payload := []byte{0x0F, 0x05, 0xC3, 0, 0, 0, 0, 0} // syscall; ret; pad
+
+	cases := map[string][]byte{
+		// The original allocation bomb: 128 bytes on disk, 8 GiB of
+		// zero-fill demanded by p_memsz.
+		"memsz-bomb.elf": concat(
+			header(2, 62, 64, 1, 0, 0, 0),
+			load(120, 8, 8<<30),
+			payload,
+		),
+		// File-backed range extends far past EOF.
+		"filesz-oob.elf": concat(
+			header(2, 62, 64, 1, 0, 0, 0),
+			load(120, 1<<20, 1<<20),
+			payload,
+		),
+		// p_offset itself is past EOF.
+		"off-oob.elf": concat(
+			header(2, 62, 64, 1, 0, 0, 0),
+			load(1<<32, 8, 8),
+			payload,
+		),
+		// memsz < filesz: a contradiction no loader accepts.
+		"memsz-lt-filesz.elf": concat(
+			header(2, 62, 64, 1, 0, 0, 0),
+			load(120, 8, 4),
+			payload,
+		),
+		// Valid header, zero program headers: nothing to load.
+		"no-ptload.elf": header(2, 62, 0, 0, 0, 0, 0),
+		// Magic plus half a header.
+		"truncated-header.elf": header(2, 62, 64, 1, 0, 0, 0)[:40],
+		// Section header table pointing into the void.
+		"shoff-oob.elf": concat(
+			header(2, 62, 64, 1, 1<<40, 64, 0),
+			load(120, 8, 8),
+			payload,
+		),
+		// Wrong architecture (EM_MIPS).
+		"machine-mips.elf": concat(
+			header(2, 8, 64, 1, 0, 0, 0),
+			load(120, 8, 8),
+			payload,
+		),
+		// Relocatable object, not an executable image.
+		"type-rel.elf": concat(
+			header(1, 62, 64, 1, 0, 0, 0),
+			load(120, 8, 8),
+			payload,
+		),
+		// Program header count far beyond what the file holds.
+		"phnum-huge.elf": concat(
+			header(2, 62, 64, 0xFFFF, 0, 0, 0),
+			load(120, 8, 8),
+			payload,
+		),
+		// Section name string table index outside the section table.
+		"shstrndx-oob.elf": concat(
+			header(2, 62, 64, 1, 128, 1, 500),
+			load(120, 8, 8),
+			payload,
+		),
+	}
+
+	for name, data := range cases {
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gen: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", name, len(data))
+	}
+}

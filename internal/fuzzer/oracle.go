@@ -22,6 +22,7 @@ import (
 	"bside/internal/elff"
 	"bside/internal/emu"
 	"bside/internal/eval"
+	"bside/internal/faults"
 	"bside/internal/serve"
 	"bside/internal/sweep"
 )
@@ -209,6 +210,32 @@ func (o *Oracle) Check(c Case) *Verdict {
 		return i < len(offFP.Syscalls) && offFP.Syscalls[i] == n
 	}
 
+	// Poisoned twin for the crash-containment legs: the same program
+	// with one flipped code byte, so it carries a distinct image hash to
+	// key injected faults on while sharing the real binary's shape. Its
+	// own analysis result never matters — the legs below sabotage it on
+	// purpose and check the neighbor.
+	poisonSpec := bin.Spec()
+	poisonSpec.Blob = append([]byte(nil), poisonSpec.Blob...)
+	poisonSpec.Blob[len(poisonSpec.Blob)/2] ^= 0xFF
+	poisonImg, err := elff.Write(poisonSpec)
+	if err != nil {
+		v.Err = "poison build: " + err.Error()
+		return v
+	}
+	poisonPath := filepath.Join(o.opts.Dir, fmt.Sprintf("poison-%d", c.Seed))
+	if err := os.WriteFile(poisonPath, poisonImg, 0o755); err != nil {
+		v.Err = "poison write: " + err.Error()
+		return v
+	}
+	defer os.Remove(poisonPath)
+	poisonBin, err := elff.Read(poisonImg)
+	if err != nil {
+		v.Err = "poison read: " + err.Error()
+		return v
+	}
+	poisonHash := poisonBin.Hash
+
 	// The analysis-leg matrix. Every leg must produce a byte-identical
 	// fingerprint; the first leg doubles as the soundness subject.
 	cacheDir := filepath.Join(o.opts.Dir, fmt.Sprintf("cache-%d", c.Seed))
@@ -365,6 +392,107 @@ func (o *Oracle) Check(c Case) *Verdict {
 				return nil, err
 			}
 			return results[0], results[0].Err
+		}},
+		// Crash-containment axis: arm a panic keyed to the poisoned twin's
+		// hash and analyze twin and real binary in one batch. The twin's
+		// slot must carry a structured PanicError; the real binary's slot
+		// — this leg's return value, byte-compared against every other
+		// leg — must be untouched. A peer's crash may cost its own
+		// result, never a neighbor's bytes.
+		leg{"batch-poison", func() (*bside.Analysis, error) {
+			restore := faults.Activate(faults.Rule{Point: faults.Stage, Match: poisonHash, Panic: true})
+			defer restore()
+			results, err := analyzer(1, "").AnalyzeAll([]string{poisonPath, binPath}, bside.BatchOptions{Jobs: 2})
+			if err != nil {
+				return nil, err
+			}
+			pe, ok := bside.IsPanic(results[0].Err)
+			if !ok {
+				return nil, fmt.Errorf("poisoned slot did not contain a PanicError: %v", results[0].Err)
+			}
+			if pe.Hash != poisonHash {
+				return nil, fmt.Errorf("PanicError blames hash %q, want %q", pe.Hash, poisonHash)
+			}
+			return results[1], results[1].Err
+		}},
+		// Same containment through the fleet path: the sweep books the
+		// poisoned binary as a phased "panic" failure and keeps moving;
+		// the clean binary's line is this leg's fingerprint subject.
+		leg{"sweep-poison", func() (*bside.Analysis, error) {
+			treeDir := filepath.Join(o.opts.Dir, fmt.Sprintf("sweep-poison-%d", c.Seed))
+			if err := os.MkdirAll(treeDir, 0o755); err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(treeDir)
+			img, err := os.ReadFile(binPath)
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(filepath.Join(treeDir, "bin"), img, 0o755); err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(filepath.Join(treeDir, "poison"), poisonImg, 0o755); err != nil {
+				return nil, err
+			}
+			restore := faults.Activate(faults.Rule{Point: faults.Stage, Match: poisonHash, Panic: true})
+			defer restore()
+			var clean, poisoned *sweep.Result
+			sum, err := sweep.Run(context.Background(), treeDir, sweep.Options{
+				Analyzer: bside.NewAnalyzer(bside.Options{
+					LibraryDir:   o.opts.Universe.Dir,
+					IntraWorkers: 1,
+				}),
+				Jobs: 2,
+				OnResult: func(r *sweep.Result) {
+					switch filepath.Base(r.Path) {
+					case "bin":
+						clean = r
+					case "poison":
+						poisoned = r
+					}
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if sum.Analyzed != 1 || sum.Failed != 1 || sum.FailurePhases["panic"] != 1 {
+				return nil, fmt.Errorf("sweep-poison accounting: analyzed=%d failed=%d phases=%v",
+					sum.Analyzed, sum.Failed, sum.FailurePhases)
+			}
+			if poisoned == nil || poisoned.Phase != "panic" {
+				return nil, fmt.Errorf("poisoned line not booked as a panic: %+v", poisoned)
+			}
+			if clean == nil || clean.Error != "" || clean.Analysis == nil {
+				return nil, fmt.Errorf("clean line damaged by the poisoned peer: %+v", clean)
+			}
+			return clean.Analysis, nil
+		}},
+		// Tamper axis: bytes changed between disk and parse (bit rot, a
+		// hostile middlebox) must surface as a malformed-image rejection
+		// — never a panic, and never drift in the neighbor's result.
+		leg{"batch-tamper", func() (*bside.Analysis, error) {
+			restore := faults.Activate(faults.Rule{
+				Point: faults.Image,
+				Match: filepath.Base(poisonPath),
+				Tamper: func(d []byte) []byte {
+					if len(d) > 60 {
+						return d[:60] // shorter than an ELF header
+					}
+					return d
+				},
+			})
+			defer restore()
+			results, err := analyzer(1, "").AnalyzeAll([]string{poisonPath, binPath}, bside.BatchOptions{Jobs: 2})
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := bside.IsPanic(results[0].Err); ok {
+				return nil, fmt.Errorf("tampered image panicked instead of failing structured: %v", results[0].Err)
+			}
+			if !errors.Is(results[0].Err, bside.ErrMalformed) {
+				return nil, fmt.Errorf("tampered image not rejected as malformed: %v", results[0].Err)
+			}
+			return results[1], results[1].Err
 		}},
 		// Fleet axis: the sweep harness must be a transparent carrier
 		// too — same result through the tree walker, with the

@@ -1,0 +1,96 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCaptureConvertsPanic(t *testing.T) {
+	err := Capture("decode", "abc123", func() error { panic("boom") })
+	pe, ok := AsPanic(err)
+	if !ok {
+		t.Fatalf("expected PanicError, got %v", err)
+	}
+	if pe.Stage != "decode" || pe.Hash != "abc123" {
+		t.Errorf("context not stamped: stage=%q hash=%q", pe.Stage, pe.Hash)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("panic value lost: %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "guard") {
+		t.Errorf("stack not captured")
+	}
+	if !strings.Contains(err.Error(), "decode") || !strings.Contains(err.Error(), "abc123") {
+		t.Errorf("message missing context: %s", err)
+	}
+	if strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("stack leaked into the error message: %s", err)
+	}
+}
+
+func TestCapturePassesThroughErrors(t *testing.T) {
+	want := errors.New("ordinary failure")
+	if err := Capture("identify", "h", func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("ordinary error mangled: %v", err)
+	}
+	if err := Capture("identify", "h", func() error { return nil }); err != nil {
+		t.Fatalf("nil became %v", err)
+	}
+}
+
+func TestCapture1ZeroesValueOnPanic(t *testing.T) {
+	val, err := Capture1("library", "libc.so.6", func() (int, error) {
+		panic(42)
+	})
+	if val != 0 {
+		t.Errorf("value not zeroed: %d", val)
+	}
+	pe, ok := AsPanic(err)
+	if !ok || pe.Stage != "library" || pe.Hash != "libc.so.6" {
+		t.Fatalf("bad conversion: %v", err)
+	}
+}
+
+// TestNestedBoundariesEnrichNotOverwrite pins the inner-boundary-wins
+// rule: a unit-level PanicError crossing the enclosing stage boundary
+// gains the stage name and image hash it could not know, without
+// losing where it actually happened.
+func TestNestedBoundariesEnrichNotOverwrite(t *testing.T) {
+	err := Capture("wrappers", "imghash", func() error {
+		return Capture("unit", "", func() error { panic("inner") })
+	})
+	pe, ok := AsPanic(err)
+	if !ok {
+		t.Fatalf("expected PanicError, got %v", err)
+	}
+	if pe.Stage != "wrappers/unit" {
+		t.Errorf("stage = %q, want wrappers/unit", pe.Stage)
+	}
+	if pe.Hash != "imghash" {
+		t.Errorf("hash not backfilled: %q", pe.Hash)
+	}
+	if pe.Value != "inner" {
+		t.Errorf("inner panic value lost: %v", pe.Value)
+	}
+}
+
+// TestRethrownPanicErrorKeepsOrigin covers a contained error being
+// re-panicked across another boundary (e.g. wrapped in a must-helper):
+// the original context survives.
+func TestRethrownPanicErrorKeepsOrigin(t *testing.T) {
+	inner := Capture("decode", "h1", func() error { panic("original") })
+	err := Capture("frontend", "", func() error { panic(inner) })
+	pe, ok := AsPanic(err)
+	if !ok || pe.Stage != "decode" || pe.Hash != "h1" {
+		t.Fatalf("origin lost: %v", err)
+	}
+}
+
+func TestErrorsIsAsThroughWrapping(t *testing.T) {
+	err := fmt.Errorf("analyzing: %w", Capture("decode", "h", func() error { panic("x") }))
+	if _, ok := AsPanic(err); !ok {
+		t.Fatal("AsPanic failed through wrapping")
+	}
+}

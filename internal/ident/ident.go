@@ -19,12 +19,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bside/internal/cache"
 	"bside/internal/cfg"
+	"bside/internal/faults"
+	"bside/internal/guard"
 	"bside/internal/linux"
 	"bside/internal/symex"
 	"bside/internal/x86"
@@ -327,13 +330,28 @@ func (p *Pass) Wrappers() []WrapperInfo { return p.wrapperInfos }
 // which is what makes the parallel analysis order-invariant. The
 // returned error is the lowest-index one, again independent of
 // scheduling.
+//
+// Each unit runs inside its own fault boundary: a panic in fn is
+// recovered on the goroutine it happened on (Go offers no other way —
+// an unrecovered panic in a pool goroutine kills the process no matter
+// what the spawner deferred) and surfaces as that unit's error, so one
+// hostile function costs one unit, and the stage above reports it like
+// any other failure.
 func forEachUnit(n, workers int, fn func(i int) error) error {
+	call := func(i int) error {
+		return guard.Capture("unit", "", func() error {
+			if err := faults.Fire(faults.IdentUnit, strconv.Itoa(i)); err != nil {
+				return err
+			}
+			return fn(i)
+		})
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := call(i); err != nil {
 				return err
 			}
 		}
@@ -351,7 +369,7 @@ func forEachUnit(n, workers int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = call(i)
 			}
 		}()
 	}

@@ -26,6 +26,8 @@ import (
 
 	"bside/internal/cfg"
 	"bside/internal/elff"
+	"bside/internal/faults"
+	"bside/internal/guard"
 	"bside/internal/ident"
 	"bside/internal/symex"
 )
@@ -174,38 +176,52 @@ func Run(bin *elff.Binary, conf Config) (*Result, error) {
 	}
 	out := &Result{}
 
-	if err := canceled(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	g, err := cfg.Recover(bin, conf.CFG)
-	out.Timings.Add(StageDecode, time.Since(start))
-	if err != nil {
-		return nil, err
-	}
-	out.Graph = g
-
-	pass := ident.Prepare(g, conf.Ident)
-
-	if err := canceled(); err != nil {
-		return nil, err
-	}
-	start = time.Now()
-	err = pass.DetectWrappers()
-	out.Timings.Add(StageWrappers, time.Since(start))
-	if err != nil {
-		return nil, err
+	// runStage is the per-binary fault boundary at stage granularity:
+	// a context check before the body, a panic-to-error conversion
+	// around it (guard.Capture tags the stage name and image hash), a
+	// fault-injection seam for tests, and the timing record either way
+	// — a stage that panics still reports its cost.
+	runStage := func(s Stage, body func() error) error {
+		if err := canceled(); err != nil {
+			return err
+		}
+		start := time.Now()
+		err := guard.Capture(s.String(), bin.Hash, func() error {
+			if err := faults.Fire(faults.Stage, s.String()+":"+bin.Hash); err != nil {
+				return err
+			}
+			return body()
+		})
+		out.Timings.Add(s, time.Since(start))
+		return err
 	}
 
-	if err := canceled(); err != nil {
+	if err := runStage(StageDecode, func() error {
+		g, err := cfg.Recover(bin, conf.CFG)
+		if err != nil {
+			return err
+		}
+		out.Graph = g
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	start = time.Now()
-	rep, err := pass.Identify()
-	out.Timings.Add(StageIdentify, time.Since(start))
-	if err != nil {
+
+	pass := ident.Prepare(out.Graph, conf.Ident)
+
+	if err := runStage(StageWrappers, pass.DetectWrappers); err != nil {
 		return nil, err
 	}
-	out.Report = rep
+
+	if err := runStage(StageIdentify, func() error {
+		rep, err := pass.Identify()
+		if err != nil {
+			return err
+		}
+		out.Report = rep
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -98,6 +98,8 @@ type Server struct {
 	timeouts   atomic.Uint64 // 504s issued on expired deadlines
 	lookups    atomic.Uint64 // ?hash= probes fielded
 	lookupHits atomic.Uint64 // ?hash= probes served from the cache
+	panics     atomic.Uint64 // 500s from contained analysis panics
+	malformed  atomic.Uint64 // 400s from images the parser rejected
 
 	stages stageHistograms
 }
@@ -137,12 +139,24 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // errSaturated marks an admission-control rejection.
 var errSaturated = errors.New("serve: analysis capacity saturated")
 
+// DegradedCacheIOErrors is how many durable-cache IO errors flip
+// /healthz from "ok" to "degraded". Degraded is still HTTP 200 — the
+// service keeps answering from the memory and pack tiers and by
+// recomputation, so a broken cache disk must not get the instance
+// pulled from rotation; the body is the operator's signal to go look
+// at the disk.
+const DegradedCacheIOErrors = 3
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if n := s.backend.CacheStats().CacheIOErrors; n >= DegradedCacheIOErrors {
+		fmt.Fprintf(w, "degraded: %d cache IO errors (serving from memory/pack tiers and recomputation)\n", n)
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -249,16 +263,28 @@ func (s *Server) analyzeOne(ctx context.Context, data []byte) (*bside.Analysis, 
 
 // writeAnalysisError maps an analysis failure onto the status codes
 // operators alarm on: 429 for admission rejections (with Retry-After,
-// so well-behaved clients back off instead of hammering), 504 for
-// expired deadlines (the elapsed wall clock rides a header — partial
-// per-stage timings do not survive the abort), 400 for images the
-// frontend rejects, 422 for analyses that failed on their merits.
+// so well-behaved clients back off instead of hammering), 500 for
+// contained analysis panics (our fault, counted in panics_total — the
+// daemon itself survived and says so), 504 for expired deadlines (the
+// elapsed wall clock rides a header — partial per-stage timings do not
+// survive the abort), 400 for images the frontend rejects (the
+// client's fault, counted in malformed_total), 422 for analyses that
+// failed on their merits.
 func (s *Server) writeAnalysisError(w http.ResponseWriter, err error, elapsed time.Duration) {
+	var pe *bside.PanicError
 	switch {
 	case errors.Is(err, errSaturated):
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.As(err, &pe):
+		// A panic the fault boundary contained: this request's analysis
+		// crashed but the process did not. The body names the stage
+		// without the stack (that is diagnostic payload, not response
+		// text); the counter is what operators alarm on.
+		s.panics.Add(1)
+		setElapsed(w, elapsed)
+		http.Error(w, fmt.Sprintf("analysis panicked in stage %s", pe.Stage), http.StatusInternalServerError)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)
 		setElapsed(w, elapsed)
@@ -267,7 +293,8 @@ func (s *Server) writeAnalysisError(w http.ResponseWriter, err error, elapsed ti
 		// The client is gone; nothing readable can be written. 499 is
 		// nginx's convention for exactly this.
 		w.WriteHeader(499)
-	case errors.As(err, &errBadImage{}):
+	case errors.As(err, &errBadImage{}), errors.Is(err, bside.ErrMalformed):
+		s.malformed.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	default:
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
@@ -393,8 +420,17 @@ type ServeMetrics struct {
 	Timeouts   uint64 `json:"timeouts"`
 	Lookups    uint64 `json:"lookups"`
 	LookupHits uint64 `json:"lookup_hits"`
-	InFlight   int    `json:"in_flight"`
-	Draining   bool   `json:"draining"`
+	// PanicsTotal counts analyses that panicked and were contained —
+	// every one answered 500 while the daemon kept serving. Nonzero
+	// means an input crashed analysis code; climbing means someone is
+	// feeding the service poison (or a real bug is loose).
+	PanicsTotal uint64 `json:"panics_total"`
+	// MalformedTotal counts uploads rejected as structurally invalid
+	// ELF images (400s). The hostile-input counterpart to PanicsTotal:
+	// these the parser refused on purpose.
+	MalformedTotal uint64 `json:"malformed_total"`
+	InFlight       int    `json:"in_flight"`
+	Draining       bool   `json:"draining"`
 }
 
 // MetricsSnapshot assembles the /metrics document (exported for the
@@ -403,15 +439,17 @@ func (s *Server) MetricsSnapshot() Metrics {
 	return Metrics{
 		Cache: s.backend.CacheStats(),
 		Serve: ServeMetrics{
-			Requests:   s.requests.Load(),
-			Analyses:   s.analyses.Load(),
-			Deduped:    s.deduped.Load(),
-			Rejected:   s.rejected.Load(),
-			Timeouts:   s.timeouts.Load(),
-			Lookups:    s.lookups.Load(),
-			LookupHits: s.lookupHits.Load(),
-			InFlight:   len(s.sem),
-			Draining:   s.draining.Load(),
+			Requests:       s.requests.Load(),
+			Analyses:       s.analyses.Load(),
+			Deduped:        s.deduped.Load(),
+			Rejected:       s.rejected.Load(),
+			Timeouts:       s.timeouts.Load(),
+			Lookups:        s.lookups.Load(),
+			LookupHits:     s.lookupHits.Load(),
+			PanicsTotal:    s.panics.Load(),
+			MalformedTotal: s.malformed.Load(),
+			InFlight:       len(s.sem),
+			Draining:       s.draining.Load(),
 		},
 		StagesMs: s.stages.snapshot(),
 	}

@@ -14,6 +14,7 @@ import (
 	"bside/internal/cache"
 	"bside/internal/cfg"
 	"bside/internal/elff"
+	"bside/internal/guard"
 	"bside/internal/ident"
 	"bside/internal/linux"
 	"bside/internal/phases"
@@ -101,6 +102,13 @@ type flight[T any] struct {
 // callers, memoizing successes in memo so later callers never wait.
 // mu guards both maps. Failures are not memoized: a later caller
 // retries.
+//
+// compute runs inside a fault boundary: a panic while analyzing a
+// shared library becomes that flight's error instead of escaping —
+// which matters doubly here, because an escaped panic would skip the
+// cleanup below and leave every waiting peer blocked forever on a
+// never-closed done channel. Panicked flights are not memoized, so one
+// hostile library poisons neither the memo nor later retries.
 func singleflight[T any](mu *sync.Mutex, memo map[string]T, flights map[string]*flight[T], key string, compute func() (T, error)) (T, error) {
 	mu.Lock()
 	if v, ok := memo[key]; ok {
@@ -116,7 +124,7 @@ func singleflight[T any](mu *sync.Mutex, memo map[string]T, flights map[string]*
 	flights[key] = fl
 	mu.Unlock()
 
-	fl.val, fl.err = compute()
+	fl.val, fl.err = guard.Capture1("library", key, compute)
 	mu.Lock()
 	if fl.err == nil {
 		memo[key] = fl.val

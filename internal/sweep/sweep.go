@@ -96,7 +96,9 @@ type Result struct {
 	// Ms is the per-binary wall clock in milliseconds.
 	Ms float64 `json:"ms"`
 	// Phase is the failure phase for failed candidates: "open",
-	// "analyze" or "scan". Empty on success.
+	// "analyze", "panic" (the analysis crashed and was contained — the
+	// binary is recorded as hostile/broken and the fleet moved on) or
+	// "scan". Empty on success.
 	Phase string `json:"phase,omitempty"`
 	Error string `json:"error,omitempty"`
 	Diff  *Diff  `json:"diff,omitempty"`
@@ -124,7 +126,7 @@ type Summary struct {
 	Warm     int64 `json:"warm"`
 	Failed   int64 `json:"failed"`
 	// FailurePhases histograms failures by phase ("walk", "open",
-	// "analyze", "scan").
+	// "analyze", "panic", "scan").
 	FailurePhases  map[string]int64 `json:"failure_phases,omitempty"`
 	ElapsedMs      float64          `json:"elapsed_ms"`
 	BinariesPerSec float64          `json:"binaries_per_sec"`
@@ -310,8 +312,18 @@ func Run(ctx context.Context, root string, opts Options) (*Summary, error) {
 	return sum, nil
 }
 
-// sweepOne takes one regular file from sniff to emitted result.
+// sweepOne takes one regular file from sniff to emitted result. A
+// panic anywhere in the per-binary path — the analyzer's own fault
+// boundaries should have converted it, so this recover is the sweep
+// pool's backstop — is recorded as a "panic" failure for this one
+// binary; the worker, and with it the rest of the fleet, keeps moving.
 func (st *state) sweepOne(ctx context.Context, path string) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.fail("panic")
+			st.emit(&Result{Path: path, Phase: "panic", Error: fmt.Sprintf("analysis panicked: %v", r)})
+		}
+	}()
 	sn, err := sniffELF(path)
 	if err != nil {
 		st.fail("open")
@@ -335,8 +347,17 @@ func (st *state) sweepOne(ctx context.Context, path string) {
 	st.hist.Observe(elapsed)
 	out := &Result{Path: path, Ms: float64(elapsed.Microseconds()) / 1000}
 	if err != nil {
-		st.fail("analyze")
-		out.Phase, out.Error = "analyze", err.Error()
+		// A contained panic gets its own phase: "analyze" failures are
+		// expected fleet noise (unbounded sites, timeouts), a panic is a
+		// hostile or bug-triggering binary worth triaging separately.
+		if _, isPanic := bside.IsPanic(err); isPanic {
+			st.fail("panic")
+			out.Phase = "panic"
+		} else {
+			st.fail("analyze")
+			out.Phase = "analyze"
+		}
+		out.Error = err.Error()
 		st.emit(out)
 		return
 	}

@@ -2,17 +2,20 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"bside"
 	"bside/internal/asm"
 	"bside/internal/corpus"
 	"bside/internal/elff"
+	"bside/internal/faults"
 	"bside/internal/x86"
 )
 
@@ -348,5 +351,66 @@ func TestSweepRequiresAnalyzer(t *testing.T) {
 	a := bside.NewAnalyzer(bside.Options{})
 	if _, err := Run(context.Background(), "/nonexistent-sweep-root", Options{Analyzer: a}); err == nil {
 		t.Fatal("missing root must be rejected")
+	}
+}
+
+// TestSweepPoisonedWorkerDoesNotKillPool is the crash-containment
+// contract at fleet scale: one binary whose analysis panics (injected
+// at the pipeline stage seam, keyed by that binary's content hash)
+// must cost exactly its own NDJSON line — counted under phase "panic"
+// in the summary — while every other binary's line is byte-identical
+// to a clean run of the same tree.
+func TestSweepPoisonedWorkerDoesNotKillPool(t *testing.T) {
+	root := t.TempDir()
+	elfs := writeTree(t, root)
+
+	// canonical renders a result as its NDJSON line with the wall clock
+	// zeroed — the only field allowed to differ between runs.
+	canonical := func(r *Result) string {
+		c := *r
+		c.Ms = 0
+		data, err := json.Marshal(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	clean, cleanSum := collect(t, root, Options{Analyzer: bside.NewAnalyzer(bside.Options{}), Jobs: 2})
+	if cleanSum.Failed != 0 {
+		t.Fatalf("clean run failed: %v", cleanSum.FailurePhases)
+	}
+
+	poison := elfs[1]
+	pb, err := elff.ReadFile(poison)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := faults.Activate(faults.Rule{Point: faults.Stage, Match: pb.Hash, Panic: true})
+	defer restore()
+
+	results, sum := collect(t, root, Options{Analyzer: bside.NewAnalyzer(bside.Options{}), Jobs: 2})
+	if sum.Failed != 1 || sum.FailurePhases["panic"] != 1 {
+		t.Fatalf("summary: failed=%d phases=%v, want one panic", sum.Failed, sum.FailurePhases)
+	}
+	if sum.Analyzed != int64(len(elfs)-1) {
+		t.Fatalf("analyzed=%d, want %d — the pool stopped early", sum.Analyzed, len(elfs)-1)
+	}
+
+	bad := results[poison]
+	if bad == nil || bad.Phase != "panic" || !strings.Contains(bad.Error, "panicked") {
+		t.Fatalf("poison result: %+v", bad)
+	}
+	for _, path := range elfs {
+		if path == poison {
+			continue
+		}
+		got, want := results[path], clean[path]
+		if got == nil || want == nil {
+			t.Fatalf("missing result for %s", path)
+		}
+		if g, w := canonical(got), canonical(want); g != w {
+			t.Fatalf("%s: poisoned-run line differs from clean run:\n got %s\nwant %s", path, g, w)
+		}
 	}
 }
